@@ -1,0 +1,327 @@
+// Package satbelim's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation:
+//
+//   - BenchmarkTable1_*  — dynamic barrier elimination per workload
+//     (Table 1; custom metrics carry the elimination percentages),
+//   - BenchmarkTable2_*  — jbb end-to-end barrier cost by mode (Table 2;
+//     relCost metric is throughput relative to no-barrier),
+//   - BenchmarkFig2_*    — compile+analysis time by inline limit and
+//     analysis mode (Figure 2; the elim%% metric is the other axis),
+//   - BenchmarkFig3      — compiled code-size reduction (Figure 3),
+//   - BenchmarkAnalysisScaling_* — analysis time vs method size (§4.4),
+//   - BenchmarkAblation* — the design-choice ablations from DESIGN.md §5.
+//
+// Run: go test -bench=. -benchmem .
+package satbelim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"satbelim/internal/core"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/report"
+	"satbelim/internal/satb"
+	"satbelim/internal/vm"
+	"satbelim/internal/workloads"
+)
+
+// buildWorkload compiles one workload, failing the benchmark on error.
+func buildWorkload(b *testing.B, name string, inlineLimit int, opts core.Options) *pipeline.Build {
+	b.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: opts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bd
+}
+
+func runBuild(b *testing.B, bd *pipeline.Build, cfg vm.Config) *vm.Result {
+	b.Helper()
+	res, err := bd.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchTable1 runs one workload with mode-A analysis and conditional
+// barriers, reporting Table 1's row as custom metrics.
+func benchTable1(b *testing.B, name string) {
+	bd := buildWorkload(b, name, report.DefaultInlineLimit, core.Options{Mode: core.ModeFieldArray})
+	var s satb.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runBuild(b, bd, vm.Config{Barrier: satb.ModeConditional})
+		s = res.Counters.Summarize()
+	}
+	b.StopTimer()
+	if len(s.UnsoundSites) > 0 {
+		b.Fatalf("unsound elisions: %v", s.UnsoundSites)
+	}
+	b.ReportMetric(float64(s.TotalExecs), "barriers/op")
+	b.ReportMetric(pct(s.ElidedExecs, s.TotalExecs), "elim%")
+	b.ReportMetric(pct(s.PotPreNull, s.TotalExecs), "potPreNull%")
+	b.ReportMetric(pct(s.FieldElided, s.FieldExecs), "fieldElim%")
+	b.ReportMetric(pct(s.ArrayElided, s.ArrayExecs), "arrayElim%")
+}
+
+func BenchmarkTable1_jess(b *testing.B)  { benchTable1(b, "jess") }
+func BenchmarkTable1_db(b *testing.B)    { benchTable1(b, "db") }
+func BenchmarkTable1_javac(b *testing.B) { benchTable1(b, "javac") }
+func BenchmarkTable1_mtrt(b *testing.B)  { benchTable1(b, "mtrt") }
+func BenchmarkTable1_jack(b *testing.B)  { benchTable1(b, "jack") }
+func BenchmarkTable1_jbb(b *testing.B)   { benchTable1(b, "jbb") }
+
+// benchTable2 measures one of the jbb end-to-end barrier modes; the
+// relTP metric is cost-model throughput relative to no-barrier.
+func benchTable2(b *testing.B, mode satb.BarrierMode, analysis core.Options) {
+	base := buildWorkload(b, "jbb", report.DefaultInlineLimit, core.Options{Mode: core.ModeNone})
+	baseRes := runBuild(b, base, vm.Config{Barrier: satb.ModeNoBarrier})
+	baseTP := float64(baseRes.Steps) / float64(baseRes.TotalCost())
+
+	bd := buildWorkload(b, "jbb", report.DefaultInlineLimit, analysis)
+	var rel float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runBuild(b, bd, vm.Config{Barrier: mode})
+		rel = (float64(res.Steps) / float64(res.TotalCost())) / baseTP
+	}
+	b.ReportMetric(rel, "relTP")
+}
+
+func BenchmarkTable2_NoBarrier(b *testing.B) {
+	benchTable2(b, satb.ModeNoBarrier, core.Options{Mode: core.ModeNone})
+}
+
+func BenchmarkTable2_AlwaysLog(b *testing.B) {
+	benchTable2(b, satb.ModeAlwaysLog, core.Options{Mode: core.ModeNone})
+}
+
+func BenchmarkTable2_AlwaysLogElim(b *testing.B) {
+	benchTable2(b, satb.ModeAlwaysLog, core.Options{Mode: core.ModeFieldArray})
+}
+
+// benchFig2 times the compile pipeline (the figure's compile-time axis)
+// at one (limit, mode) point, aggregated over all six workloads, and
+// reports the dynamic elimination as a metric (the effectiveness axis).
+func benchFig2(b *testing.B, limit int, mode core.Mode) {
+	// The effectiveness axis (dynamic elimination) is measured once,
+	// outside the timed loop; the timed loop measures the figure's
+	// compile-time axis.
+	var elided, total uint64
+	for _, w := range workloads.All() {
+		bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+			InlineLimit: limit,
+			Analysis:    core.Options{Mode: mode},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := runBuild(b, bd, vm.Config{Barrier: satb.ModeConditional})
+		s := res.Counters.Summarize()
+		elided += s.ElidedExecs
+		total += s.TotalExecs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.All() {
+			if _, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+				InlineLimit: limit,
+				Analysis:    core.Options{Mode: mode},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(pct(elided, total), "elim%")
+}
+
+func BenchmarkFig2_Limit0_B(b *testing.B)   { benchFig2(b, 0, core.ModeNone) }
+func BenchmarkFig2_Limit0_F(b *testing.B)   { benchFig2(b, 0, core.ModeField) }
+func BenchmarkFig2_Limit0_A(b *testing.B)   { benchFig2(b, 0, core.ModeFieldArray) }
+func BenchmarkFig2_Limit25_B(b *testing.B)  { benchFig2(b, 25, core.ModeNone) }
+func BenchmarkFig2_Limit25_F(b *testing.B)  { benchFig2(b, 25, core.ModeField) }
+func BenchmarkFig2_Limit25_A(b *testing.B)  { benchFig2(b, 25, core.ModeFieldArray) }
+func BenchmarkFig2_Limit50_B(b *testing.B)  { benchFig2(b, 50, core.ModeNone) }
+func BenchmarkFig2_Limit50_F(b *testing.B)  { benchFig2(b, 50, core.ModeField) }
+func BenchmarkFig2_Limit50_A(b *testing.B)  { benchFig2(b, 50, core.ModeFieldArray) }
+func BenchmarkFig2_Limit100_B(b *testing.B) { benchFig2(b, 100, core.ModeNone) }
+func BenchmarkFig2_Limit100_F(b *testing.B) { benchFig2(b, 100, core.ModeField) }
+func BenchmarkFig2_Limit100_A(b *testing.B) { benchFig2(b, 100, core.ModeFieldArray) }
+func BenchmarkFig2_Limit200_B(b *testing.B) { benchFig2(b, 200, core.ModeNone) }
+func BenchmarkFig2_Limit200_F(b *testing.B) { benchFig2(b, 200, core.ModeField) }
+func BenchmarkFig2_Limit200_A(b *testing.B) { benchFig2(b, 200, core.ModeFieldArray) }
+
+// BenchmarkFig3 computes the compiled-code-size rows, reporting the mean
+// mode-A reduction percentage (paper: 2–6%).
+func BenchmarkFig3(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Figure3(report.DefaultInlineLimit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = 0
+		for _, r := range rows {
+			mean += r.ReduceAPct
+		}
+		mean /= float64(len(rows))
+	}
+	b.ReportMetric(mean, "codeCut%")
+}
+
+// genMethodSource builds a class whose work method has roughly n
+// "statements" (alternating field and array initializing stores inside a
+// loop nest), for the §4.4 analysis-time scaling measurement.
+func genMethodSource(n int) string {
+	var sb strings.Builder
+	sb.WriteString("class T { T a; T b; T c; T(int x) { } }\n")
+	sb.WriteString("class Gen {\n  static void work(int p) {\n")
+	sb.WriteString("    T[] arr = new T[p];\n")
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&sb, "    T t%d = new T(%d);\n", i, i)
+		case 1:
+			fmt.Fprintf(&sb, "    t%d.a = new T(%d);\n", i-1, i)
+		case 2:
+			fmt.Fprintf(&sb, "    t%d.b = t%d.a;\n", i-2, i-2)
+		default:
+			fmt.Fprintf(&sb, "    if (p > %d) { t%d.c = t%d.b; }\n", i, i-3, i-3)
+		}
+	}
+	sb.WriteString("    for (int i = 0; i < p; i = i + 1) arr[i] = new T(i);\n")
+	sb.WriteString("  }\n  static void main() { Gen.work(3); }\n}\n")
+	return sb.String()
+}
+
+// benchAnalysisScaling times AnalyzeProgram on generated methods of
+// growing size (§4.4's analysis-time-vs-code-size data).
+func benchAnalysisScaling(b *testing.B, stmts int) {
+	src := genMethodSource(stmts)
+	bd, err := pipeline.Compile("gen", src, pipeline.Options{InlineLimit: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeProgram(bd.Program, core.Options{Mode: core.ModeFieldArray}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(bd.BytecodeBytes), "bytecodeBytes")
+}
+
+func BenchmarkAnalysisScaling_50(b *testing.B)  { benchAnalysisScaling(b, 50) }
+func BenchmarkAnalysisScaling_100(b *testing.B) { benchAnalysisScaling(b, 100) }
+func BenchmarkAnalysisScaling_200(b *testing.B) { benchAnalysisScaling(b, 200) }
+func BenchmarkAnalysisScaling_400(b *testing.B) { benchAnalysisScaling(b, 400) }
+func BenchmarkAnalysisScaling_800(b *testing.B) { benchAnalysisScaling(b, 800) }
+
+// benchAblation measures mode-A elimination across all workloads under
+// one ablated analysis configuration (DESIGN.md §5).
+func benchAblation(b *testing.B, opts core.Options) {
+	var elided, total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		elided, total = 0, 0
+		for _, w := range workloads.All() {
+			bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+				InlineLimit: report.DefaultInlineLimit,
+				Analysis:    opts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := runBuild(b, bd, vm.Config{Barrier: satb.ModeConditional})
+			s := res.Counters.Summarize()
+			if len(s.UnsoundSites) > 0 {
+				b.Fatalf("%s: unsound %v", w.Name, s.UnsoundSites)
+			}
+			elided += s.ElidedExecs
+			total += s.TotalExecs
+		}
+	}
+	b.ReportMetric(pct(elided, total), "elim%")
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b, core.Options{Mode: core.ModeFieldArray})
+}
+
+func BenchmarkAblationSingleRef(b *testing.B) {
+	benchAblation(b, core.Options{Mode: core.ModeFieldArray, SingleRefPerSite: true})
+}
+
+func BenchmarkAblationFlowInsensitiveEscape(b *testing.B) {
+	benchAblation(b, core.Options{Mode: core.ModeFieldArray, FlowInsensitiveEscape: true})
+}
+
+func BenchmarkAblationNoStride(b *testing.B) {
+	benchAblation(b, core.Options{Mode: core.ModeFieldArray, NoStrideInference: true})
+}
+
+// BenchmarkInterprocedural measures elimination at inline limit 0 with
+// escape summaries across all workloads (the §2.4 future-work extension).
+func BenchmarkInterprocedural(b *testing.B) {
+	benchLimit0 := func(b *testing.B, opts core.Options) {
+		var elided, total uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			elided, total = 0, 0
+			for _, w := range workloads.All() {
+				bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: 0, Analysis: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := runBuild(b, bd, vm.Config{Barrier: satb.ModeConditional})
+				s := res.Counters.Summarize()
+				elided += s.ElidedExecs
+				total += s.TotalExecs
+			}
+		}
+		b.ReportMetric(pct(elided, total), "elim%")
+	}
+	b.Run("intra", func(b *testing.B) { benchLimit0(b, core.Options{Mode: core.ModeFieldArray}) })
+	b.Run("summaries", func(b *testing.B) {
+		benchLimit0(b, core.Options{Mode: core.ModeFieldArray, Interprocedural: true})
+	})
+}
+
+// BenchmarkRearrangeDB measures the §4.3 retrace protocol on db: the
+// rearr% metric is the share of barrier executions covered by swap-pair
+// elision on top of the pre-null eliminations.
+func BenchmarkRearrangeDB(b *testing.B) {
+	bd := buildWorkload(b, "db", report.DefaultInlineLimit,
+		core.Options{Mode: core.ModeFieldArray, Rearrange: true})
+	var s satb.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runBuild(b, bd, vm.Config{
+			Barrier:            satb.ModeConditional,
+			GC:                 vm.GCSATB,
+			TriggerEveryAllocs: 200,
+			CheckInvariant:     true,
+		})
+		s = res.Counters.Summarize()
+	}
+	b.StopTimer()
+	if len(s.UnsoundSites) > 0 {
+		b.Fatalf("unsound: %v", s.UnsoundSites)
+	}
+	b.ReportMetric(pct(s.RearrangeExecs, s.TotalExecs), "rearr%")
+	b.ReportMetric(float64(s.Retraces), "retraces")
+}
+
+func pct(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

@@ -1,0 +1,95 @@
+// Command satbbench regenerates the paper's evaluation artifacts over the
+// built-in workload suite: Table 1 (dynamic eliminations), Table 2 (jbb
+// end-to-end barrier cost), Figure 2 (inline-limit sweep), Figure 3
+// (compiled code size), and the §4.3 null-or-same measurements.
+//
+// Usage:
+//
+//	satbbench -all
+//	satbbench -table1 -fig3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"satbelim/internal/report"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	t1 := flag.Bool("table1", false, "Table 1: dynamic barrier elimination")
+	t2 := flag.Bool("table2", false, "Table 2: jbb end-to-end barrier cost")
+	f2 := flag.Bool("fig2", false, "Figure 2: inline limit sweep")
+	f3 := flag.Bool("fig3", false, "Figure 3: compiled code size")
+	nos := flag.Bool("nullorsame", false, "§4.3 null-or-same measurements")
+	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
+	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
+	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3")
+	flag.Parse()
+
+	if *all {
+		*t1, *t2, *f2, *f3, *nos, *rearr, *interp = true, true, true, true, true, true, true
+	}
+	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp {
+		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if *t1 {
+		rows, err := report.Table1(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatTable1(rows))
+	}
+	if *t2 {
+		rows, err := report.Table2(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatTable2(rows))
+	}
+	if *f2 {
+		points, err := report.Figure2(nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatFigure2(points))
+	}
+	if *f3 {
+		rows, err := report.Figure3(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatFigure3(rows))
+	}
+	if *nos {
+		rows, err := report.NullOrSame(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatNullOrSame(rows))
+	}
+	if *rearr {
+		rows, err := report.Rearrangement(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatRearrangement(rows))
+	}
+	if *interp {
+		rows, err := report.Interprocedural()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatInterprocedural(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satbbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command satbc is the MiniJava compiler driver: it compiles a source
+// file (or a named built-in workload), runs the barrier-elision analyses,
+// and prints the analysis report and optionally the annotated disassembly.
+//
+// Usage:
+//
+//	satbc [-inline N] [-mode B|F|A] [-nullorsame] [-dis] file.mj
+//	satbc [-flags] -workload jess
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/core"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/workloads"
+)
+
+func main() {
+	inlineLimit := flag.Int("inline", 100, "inline limit in bytecode bytes (0 disables inlining)")
+	mode := flag.String("mode", "A", "analysis mode: B (none), F (field), A (field+array)")
+	nullOrSame := flag.Bool("nullorsame", false, "enable the §4.3 null-or-same extension")
+	dis := flag.Bool("dis", false, "print annotated disassembly")
+	workload := flag.String("workload", "", "compile a built-in workload instead of a file")
+	flag.Parse()
+
+	var name, source string
+	switch {
+	case *workload != "":
+		w, err := workloads.Get(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		name, source = w.Name, w.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		name = strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".mj")
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: satbc [flags] file.mj | satbc [flags] -workload NAME")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var m core.Mode
+	switch strings.ToUpper(*mode) {
+	case "B":
+		m = core.ModeNone
+	case "F":
+		m = core.ModeField
+	case "A":
+		m = core.ModeFieldArray
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	b, err := pipeline.Compile(name, source, pipeline.Options{
+		InlineLimit: *inlineLimit,
+		Analysis:    core.Options{Mode: m, NullOrSame: *nullOrSame},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("compiled %s: %d bytecode bytes, %d call sites inlined (limit %d)\n",
+		name, b.BytecodeBytes, b.InlinedCalls, *inlineLimit)
+	fmt.Printf("compile time: frontend %v, inline %v, verify %v, analysis %v\n",
+		b.FrontendTime, b.InlineTime, b.VerifyTime, b.AnalysisTime)
+	fmt.Printf("modeled compiled code size: %d bytes\n", b.CompiledCodeSize())
+	if b.Report != nil {
+		fmt.Print(b.Report.String())
+	}
+	if *dis {
+		fmt.Println()
+		fmt.Print(bytecode.DisassembleProgram(b.Program))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satbc:", err)
+	os.Exit(1)
+}

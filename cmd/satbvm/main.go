@@ -1,0 +1,131 @@
+// Command satbvm compiles and runs a MiniJava program (or built-in
+// workload) on the bytecode VM with a chosen barrier mode and collector,
+// printing the program output and the barrier instrumentation summary.
+//
+// Usage:
+//
+//	satbvm [-inline N] [-mode A] [-barrier conditional] [-gc satb] file.mj
+//	satbvm [-flags] -workload jbb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"satbelim/internal/core"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/satb"
+	"satbelim/internal/vm"
+	"satbelim/internal/workloads"
+)
+
+func main() {
+	inlineLimit := flag.Int("inline", 100, "inline limit in bytecode bytes")
+	mode := flag.String("mode", "A", "analysis mode: B, F, or A")
+	nullOrSame := flag.Bool("nullorsame", false, "enable the null-or-same extension")
+	barrier := flag.String("barrier", "conditional", "barrier mode: none, conditional, alwayslog, card")
+	gcKind := flag.String("gc", "none", "collector: none, satb, inc")
+	trigger := flag.Int64("gc-trigger", 200, "allocations between marking cycles")
+	check := flag.Bool("check", false, "verify the SATB snapshot invariant every cycle")
+	sites := flag.Bool("sites", false, "print per-site statistics")
+	workload := flag.String("workload", "", "run a built-in workload instead of a file")
+	flag.Parse()
+
+	var name, source string
+	switch {
+	case *workload != "":
+		w, err := workloads.Get(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		name, source = w.Name, w.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		name = strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".mj")
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: satbvm [flags] file.mj | satbvm [flags] -workload NAME")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var am core.Mode
+	switch strings.ToUpper(*mode) {
+	case "B":
+		am = core.ModeNone
+	case "F":
+		am = core.ModeField
+	case "A":
+		am = core.ModeFieldArray
+	default:
+		fatal(fmt.Errorf("unknown analysis mode %q", *mode))
+	}
+
+	var bm satb.BarrierMode
+	switch *barrier {
+	case "none":
+		bm = satb.ModeNoBarrier
+	case "conditional":
+		bm = satb.ModeConditional
+	case "alwayslog":
+		bm = satb.ModeAlwaysLog
+	case "card":
+		bm = satb.ModeCardMarking
+	default:
+		fatal(fmt.Errorf("unknown barrier mode %q", *barrier))
+	}
+
+	var gk vm.GCKind
+	switch *gcKind {
+	case "none":
+		gk = vm.GCNone
+	case "satb":
+		gk = vm.GCSATB
+	case "inc":
+		gk = vm.GCIncremental
+	default:
+		fatal(fmt.Errorf("unknown gc %q", *gcKind))
+	}
+
+	b, err := pipeline.Compile(name, source, pipeline.Options{
+		InlineLimit: *inlineLimit,
+		Analysis:    core.Options{Mode: am, NullOrSame: *nullOrSame},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := b.Run(vm.Config{
+		Barrier:            bm,
+		GC:                 gk,
+		TriggerEveryAllocs: *trigger,
+		CheckInvariant:     *check,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("output: %v\n", res.Output)
+	fmt.Printf("instructions: %d, barrier cost: %d units, total cost: %d\n",
+		res.Steps, res.Counters.Cost, res.TotalCost())
+	if gk != vm.GCNone {
+		fmt.Printf("gc: %d cycles, %d objects allocated, %d swept, final-pause work %d\n",
+			res.Cycles, res.Allocated, res.Swept, res.FinalPauseWork)
+	}
+	fmt.Println(res.Counters.Summarize().String())
+	if *sites {
+		for _, s := range res.Counters.Sites() {
+			fmt.Printf("  %v site execs=%d prenull=%d elide=%v\n", s.Kind, s.Execs, s.PreNull, s.Elide)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satbvm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module satbelim
+
+go 1.22

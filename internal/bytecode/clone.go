@@ -1,0 +1,29 @@
+package bytecode
+
+// Clone returns a deep copy of the method: instructions, slot types, and
+// parameter lists are copied so that transformations (inlining, barrier
+// annotation) on the copy never affect the original. Type values are
+// shared; they are immutable by convention.
+func (m *Method) Clone() *Method {
+	cp := *m
+	cp.Code = append([]Instr(nil), m.Code...)
+	cp.SlotTypes = append([]*Type(nil), m.SlotTypes...)
+	cp.Params = append([]*Type(nil), m.Params...)
+	return &cp
+}
+
+// Clone returns a deep copy of the program. Classes and field descriptors
+// are copied shallowly except for method bodies, which are deep-copied.
+func (p *Program) Clone() *Program {
+	cp := NewProgram()
+	cp.Main = p.Main
+	for name, c := range p.Classes {
+		nc := &Class{Name: c.Name}
+		nc.Fields = append([]*Field(nil), c.Fields...)
+		for _, m := range c.Methods {
+			nc.Methods = append(nc.Methods, m.Clone())
+		}
+		cp.Classes[name] = nc
+	}
+	return cp
+}

@@ -1,0 +1,268 @@
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op int
+
+// The instruction set. It mirrors the JVM subset over which the paper's
+// analyses are defined: local load/store, field and static access, object
+// and array allocation, reference- and int-array element access, invoke,
+// arithmetic, comparisons, and branches.
+const (
+	// OpNop does nothing. The inliner uses it to replace removed
+	// instructions without renumbering branch targets.
+	OpNop Op = iota
+
+	// OpConst pushes the integer constant A.
+	OpConst
+	// OpConstBool pushes the boolean constant (A != 0).
+	OpConstBool
+	// OpConstNull pushes the null reference.
+	OpConstNull
+
+	// OpLoad pushes local slot A.
+	OpLoad
+	// OpStore pops the stack top into local slot A.
+	OpStore
+
+	// OpDup duplicates the stack top.
+	OpDup
+	// OpPop discards the stack top.
+	OpPop
+
+	// Integer arithmetic: pop two (or one for OpNeg), push result.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpNeg
+
+	// Boolean connectives (non-short-circuit): pop two booleans, push one.
+	OpAnd
+	OpOr
+	// OpNot pops one boolean and pushes its negation.
+	OpNot
+
+	// Integer comparisons: pop two ints, push a boolean.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Reference comparisons: pop two refs, push a boolean.
+	OpRefEQ
+	OpRefNE
+
+	// OpGoto jumps unconditionally to pc A.
+	OpGoto
+	// OpIfTrue pops a boolean and jumps to pc A when it is true.
+	OpIfTrue
+	// OpIfFalse pops a boolean and jumps to pc A when it is false.
+	OpIfFalse
+	// OpIfNull pops a reference and jumps to pc A when it is null.
+	OpIfNull
+	// OpIfNonNull pops a reference and jumps to pc A when it is non-null.
+	OpIfNonNull
+
+	// OpGetField pops an object reference and pushes the value of Field.
+	OpGetField
+	// OpPutField pops a value then an object reference and stores the
+	// value into Field of the object. When the stored value is a
+	// reference, this is an SATB write-barrier site.
+	OpPutField
+
+	// OpGetStatic pushes the value of the static Field.
+	OpGetStatic
+	// OpPutStatic pops a value into the static Field. Reference stores
+	// here always keep their barrier (and make the value escape).
+	OpPutStatic
+
+	// OpNewInstance allocates a new object of class Type (fields zeroed /
+	// nulled) and pushes its reference. The instruction's pc is the
+	// allocation-site id used by the analysis.
+	OpNewInstance
+	// OpNewArray pops a length and allocates a new array with element
+	// type Type (elements zeroed / nulled), pushing its reference.
+	OpNewArray
+	// OpArrayLength pops an array reference and pushes its length.
+	OpArrayLength
+
+	// OpAALoad pops index then array ref, pushes the reference element.
+	OpAALoad
+	// OpAAStore pops value, index, array ref and stores the reference
+	// element. This is an SATB write-barrier site.
+	OpAAStore
+	// OpIALoad / OpIAStore are the scalar (int/boolean) array accesses;
+	// they never require barriers.
+	OpIALoad
+	OpIAStore
+
+	// OpInvoke calls Method. Arguments (receiver first for instance
+	// methods) are popped; a non-void result is pushed.
+	OpInvoke
+	// OpSpawn pops a receiver and starts Method (an instance method of
+	// the receiver with no other arguments) on a new thread. The receiver
+	// escapes.
+	OpSpawn
+
+	// OpReturn returns from a void method.
+	OpReturn
+	// OpReturnValue pops the stack top and returns it.
+	OpReturnValue
+
+	// OpPrint pops an int and emits it on the VM's output (test hook).
+	OpPrint
+
+	// OpTrap aborts execution with a "missing return" error. The code
+	// generator plants it where a value-returning method falls off the
+	// end; verified control flow never reaches it in correct programs.
+	OpTrap
+)
+
+// FieldRef names a field, static or instance.
+type FieldRef struct {
+	Class string
+	Name  string
+}
+
+func (f FieldRef) String() string { return f.Class + "." + f.Name }
+
+// MethodRef names a method.
+type MethodRef struct {
+	Class string
+	Name  string
+}
+
+func (m MethodRef) String() string { return m.Class + "." + m.Name }
+
+// Instr is one bytecode instruction. Operand fields are used according to
+// the opcode; unused fields are zero.
+type Instr struct {
+	Op     Op
+	A      int64     // constant, local slot, or branch target pc
+	Field  FieldRef  // OpGetField/OpPutField/OpGetStatic/OpPutStatic
+	Method MethodRef // OpInvoke/OpSpawn
+	Type   *Type     // OpNewInstance (class), OpNewArray (element type)
+
+	// Elide is set by the barrier-elision analysis on OpPutField and
+	// OpAAStore sites proven pre-null: the VM then skips the SATB
+	// barrier for this site.
+	Elide bool
+
+	// ElideNullOrSame is set by the null-or-same extension (§4.3): the
+	// store either overwrites null or rewrites the value already
+	// present, so no SATB log entry is needed either way.
+	ElideNullOrSame bool
+
+	// ElideRearrange is set by the array-rearrangement extension (§4.3):
+	// the store is half of a swap that permutes an array's elements, so
+	// instead of logging, the mutator checks the array's tracing state
+	// and requests a retrace when the collector's scan may have
+	// overlapped the rearrangement.
+	ElideRearrange bool
+
+	// Line is the source line for diagnostics (0 when synthesized).
+	Line int
+}
+
+// IsBranch reports whether the instruction can transfer control to Instr.A.
+func (in *Instr) IsBranch() bool {
+	switch in.Op {
+	case OpGoto, OpIfTrue, OpIfFalse, OpIfNull, OpIfNonNull:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether control never falls through to the next pc.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpGoto, OpReturn, OpReturnValue, OpTrap:
+		return true
+	}
+	return false
+}
+
+// Size returns the instruction's encoded size in bytes under a JVM-like
+// encoding. The inliner's "inline limit" parameter (paper §4.4) is
+// expressed in these units, as is the compiled-code-size experiment
+// (Figure 3).
+func (in *Instr) Size() int {
+	switch in.Op {
+	case OpNop, OpConstNull, OpDup, OpPop,
+		OpAdd, OpSub, OpMul, OpDiv, OpRem, OpNeg,
+		OpAnd, OpOr, OpNot,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE,
+		OpRefEQ, OpRefNE,
+		OpArrayLength, OpAALoad, OpAAStore, OpIALoad, OpIAStore,
+		OpReturn, OpReturnValue, OpPrint, OpTrap:
+		return 1
+	case OpLoad, OpStore, OpConstBool:
+		return 2
+	case OpConst:
+		return 3
+	case OpGoto, OpIfTrue, OpIfFalse, OpIfNull, OpIfNonNull:
+		return 3
+	case OpGetField, OpPutField, OpGetStatic, OpPutStatic,
+		OpNewInstance, OpNewArray, OpInvoke, OpSpawn:
+		return 3
+	default:
+		return 1
+	}
+}
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConst: "const", OpConstBool: "constbool", OpConstNull: "constnull",
+	OpLoad: "load", OpStore: "store", OpDup: "dup", OpPop: "pop",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem", OpNeg: "neg",
+	OpAnd: "and", OpOr: "or", OpNot: "not",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpRefEQ: "refeq", OpRefNE: "refne",
+	OpGoto: "goto", OpIfTrue: "iftrue", OpIfFalse: "iffalse",
+	OpIfNull: "ifnull", OpIfNonNull: "ifnonnull",
+	OpGetField: "getfield", OpPutField: "putfield",
+	OpGetStatic: "getstatic", OpPutStatic: "putstatic",
+	OpNewInstance: "newinstance", OpNewArray: "newarray", OpArrayLength: "arraylength",
+	OpAALoad: "aaload", OpAAStore: "aastore", OpIALoad: "iaload", OpIAStore: "iastore",
+	OpInvoke: "invoke", OpSpawn: "spawn",
+	OpReturn: "return", OpReturnValue: "returnvalue", OpPrint: "print",
+	OpTrap: "trap",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// String renders the instruction with its operands.
+func (in *Instr) String() string {
+	s := in.Op.String()
+	switch in.Op {
+	case OpConst, OpConstBool, OpLoad, OpStore:
+		s = fmt.Sprintf("%s %d", s, in.A)
+	case OpGoto, OpIfTrue, OpIfFalse, OpIfNull, OpIfNonNull:
+		s = fmt.Sprintf("%s -> %d", s, in.A)
+	case OpGetField, OpPutField, OpGetStatic, OpPutStatic:
+		s = fmt.Sprintf("%s %s", s, in.Field)
+	case OpNewInstance, OpNewArray:
+		s = fmt.Sprintf("%s %s", s, in.Type)
+	case OpInvoke, OpSpawn:
+		s = fmt.Sprintf("%s %s", s, in.Method)
+	}
+	switch {
+	case in.Elide:
+		s += "  ; no-barrier"
+	case in.ElideNullOrSame:
+		s += "  ; no-barrier(null-or-same)"
+	case in.ElideRearrange:
+		s += "  ; no-barrier(rearrange)"
+	}
+	return s
+}

@@ -1,0 +1,252 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Field is a declared (instance or static) field of a class.
+type Field struct {
+	Name   string
+	Type   *Type
+	Static bool
+}
+
+// Class is a compiled class: fields plus methods.
+type Class struct {
+	Name    string
+	Fields  []*Field
+	Methods []*Method
+}
+
+// Field returns the declared field with the given name, or nil.
+func (c *Class) Field(name string) *Field {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Method returns the declared method with the given name, or nil.
+func (c *Class) Method(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Method is a compiled method body.
+type Method struct {
+	Class  string
+	Name   string
+	Static bool
+	// Ctor marks constructors. Constructors are instance methods named
+	// "<init>" whose receiver is known thread-local and null-fielded on
+	// entry (paper §2.3).
+	Ctor bool
+
+	// Params are the declared parameter types, excluding the receiver.
+	Params []*Type
+	// Return is the result type (Void for none).
+	Return *Type
+
+	// NumSlots is the number of local variable slots. Slot 0 is the
+	// receiver for instance methods; parameters follow.
+	NumSlots int
+	// SlotTypes records the static type of each slot, filled by codegen
+	// and updated by the inliner. The analyses use it to distinguish
+	// reference slots.
+	SlotTypes []*Type
+
+	Code []Instr
+
+	// MaxStack is the verified operand stack bound (set by the verifier).
+	MaxStack int
+}
+
+// Ref returns the method's reference.
+func (m *Method) Ref() MethodRef { return MethodRef{Class: m.Class, Name: m.Name} }
+
+// NumArgs returns the argument count including the receiver.
+func (m *Method) NumArgs() int {
+	n := len(m.Params)
+	if !m.Static {
+		n++
+	}
+	return n
+}
+
+// ArgType returns the type of argument i, where i counts the receiver as
+// argument 0 for instance methods.
+func (m *Method) ArgType(i int) *Type {
+	if !m.Static {
+		if i == 0 {
+			return ClassType(m.Class)
+		}
+		i--
+	}
+	return m.Params[i]
+}
+
+// Size returns the method's encoded bytecode size in bytes.
+func (m *Method) Size() int {
+	n := 0
+	for i := range m.Code {
+		n += m.Code[i].Size()
+	}
+	return n
+}
+
+// QualifiedName returns "Class.Name".
+func (m *Method) QualifiedName() string { return m.Class + "." + m.Name }
+
+// Program is a whole compiled program.
+type Program struct {
+	Classes map[string]*Class
+	// Main names the entry point, a static void method with no params.
+	Main MethodRef
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{Classes: map[string]*Class{}}
+}
+
+// Class returns the named class, or nil.
+func (p *Program) Class(name string) *Class { return p.Classes[name] }
+
+// AddClass registers a class, replacing any previous definition.
+func (p *Program) AddClass(c *Class) { p.Classes[c.Name] = c }
+
+// Method resolves a method reference, or returns nil.
+func (p *Program) Method(ref MethodRef) *Method {
+	c := p.Classes[ref.Class]
+	if c == nil {
+		return nil
+	}
+	return c.Method(ref.Name)
+}
+
+// FieldType resolves a field reference's declared type, or nil.
+func (p *Program) FieldType(ref FieldRef) *Type {
+	c := p.Classes[ref.Class]
+	if c == nil {
+		return nil
+	}
+	f := c.Field(ref.Name)
+	if f == nil {
+		return nil
+	}
+	return f.Type
+}
+
+// SortedClasses returns the classes in name order, for deterministic
+// iteration.
+func (p *Program) SortedClasses() []*Class {
+	out := make([]*Class, 0, len(p.Classes))
+	for _, c := range p.Classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Methods returns every method in deterministic order.
+func (p *Program) Methods() []*Method {
+	var out []*Method
+	for _, c := range p.SortedClasses() {
+		ms := append([]*Method(nil), c.Methods...)
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+		out = append(out, ms...)
+	}
+	return out
+}
+
+// Size returns the total bytecode size of all methods.
+func (p *Program) Size() int {
+	n := 0
+	for _, m := range p.Methods() {
+		n += m.Size()
+	}
+	return n
+}
+
+// Disassemble renders a method listing.
+func Disassemble(m *Method) string {
+	var b strings.Builder
+	kind := "method"
+	if m.Static {
+		kind = "static method"
+	}
+	if m.Ctor {
+		kind = "constructor"
+	}
+	fmt.Fprintf(&b, "%s %s.%s (%d slots, %d bytes)\n", kind, m.Class, m.Name, m.NumSlots, m.Size())
+	for pc := range m.Code {
+		fmt.Fprintf(&b, "  %4d: %s\n", pc, m.Code[pc].String())
+	}
+	return b.String()
+}
+
+// DisassembleProgram renders every method of the program.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	for _, m := range p.Methods() {
+		b.WriteString(Disassemble(m))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate performs basic structural sanity checks: branch targets in
+// range, slots in range, resolvable field/method refs. It returns the
+// first problem found, or nil.
+func (p *Program) Validate() error {
+	for _, m := range p.Methods() {
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if in.IsBranch() {
+				if in.A < 0 || in.A >= int64(len(m.Code)) {
+					return fmt.Errorf("%s: pc %d: branch target %d out of range", m.QualifiedName(), pc, in.A)
+				}
+			}
+			switch in.Op {
+			case OpLoad, OpStore:
+				if in.A < 0 || in.A >= int64(m.NumSlots) {
+					return fmt.Errorf("%s: pc %d: slot %d out of range [0,%d)", m.QualifiedName(), pc, in.A, m.NumSlots)
+				}
+			case OpGetField, OpPutField, OpGetStatic, OpPutStatic:
+				if p.FieldType(in.Field) == nil {
+					return fmt.Errorf("%s: pc %d: unresolved field %s", m.QualifiedName(), pc, in.Field)
+				}
+			case OpInvoke, OpSpawn:
+				if p.Method(in.Method) == nil {
+					return fmt.Errorf("%s: pc %d: unresolved method %s", m.QualifiedName(), pc, in.Method)
+				}
+			case OpNewInstance:
+				if in.Type == nil || in.Type.Kind != KindClass || p.Class(in.Type.Class) == nil {
+					return fmt.Errorf("%s: pc %d: bad newinstance type %s", m.QualifiedName(), pc, in.Type)
+				}
+			case OpNewArray:
+				if in.Type == nil {
+					return fmt.Errorf("%s: pc %d: newarray missing element type", m.QualifiedName(), pc)
+				}
+			}
+		}
+	}
+	if p.Main != (MethodRef{}) {
+		mm := p.Method(p.Main)
+		if mm == nil {
+			return fmt.Errorf("main method %s not found", p.Main)
+		}
+		if !mm.Static || len(mm.Params) != 0 {
+			return fmt.Errorf("main method %s must be static with no parameters", p.Main)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package bytecode defines the stack-machine intermediate representation
+// analyzed and executed by this repository. It is a faithful subset of JVM
+// bytecode: the SATB barrier-elision analyses of Nandivada & Detlefs (CGO
+// 2005) are specified as transfer functions over these instructions.
+package bytecode
+
+import "fmt"
+
+// Kind classifies a Type.
+type Kind int
+
+const (
+	// KindVoid is the return type of void methods.
+	KindVoid Kind = iota
+	// KindInt is the 64-bit integer type.
+	KindInt
+	// KindBool is the boolean type.
+	KindBool
+	// KindClass is an object reference type; Type.Class names the class.
+	KindClass
+	// KindArray is an array reference type; Type.Elem is the element type.
+	KindArray
+)
+
+// Type describes a MiniJava/bytecode value type.
+type Type struct {
+	Kind  Kind
+	Class string // class name, when Kind == KindClass
+	Elem  *Type  // element type, when Kind == KindArray
+}
+
+// Predefined scalar types. These are shared; Type values are immutable by
+// convention.
+var (
+	Void = &Type{Kind: KindVoid}
+	Int  = &Type{Kind: KindInt}
+	Bool = &Type{Kind: KindBool}
+)
+
+// ClassType returns the reference type for the named class.
+func ClassType(name string) *Type { return &Type{Kind: KindClass, Class: name} }
+
+// ArrayOf returns the array type with the given element type.
+func ArrayOf(elem *Type) *Type { return &Type{Kind: KindArray, Elem: elem} }
+
+// IsRef reports whether values of t are object references (class instances
+// or arrays). Stores of reference values into the heap are the only stores
+// that require SATB write barriers.
+func (t *Type) IsRef() bool {
+	return t != nil && (t.Kind == KindClass || t.Kind == KindArray)
+}
+
+// IsRefArray reports whether t is an array whose elements are references
+// (the aastore-barrier case).
+func (t *Type) IsRefArray() bool {
+	return t != nil && t.Kind == KindArray && t.Elem.IsRef()
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindClass:
+		return t.Class == u.Class
+	case KindArray:
+		return t.Elem.Equal(u.Elem)
+	default:
+		return true
+	}
+}
+
+// String renders the type in MiniJava source syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil-type>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "boolean"
+	case KindClass:
+		return t.Class
+	case KindArray:
+		return t.Elem.String() + "[]"
+	default:
+		return fmt.Sprintf("<kind %d>", int(t.Kind))
+	}
+}

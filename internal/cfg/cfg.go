@@ -1,0 +1,151 @@
+// Package cfg builds basic-block control-flow graphs over bytecode
+// methods. The barrier-elision analyses and the verifier both iterate over
+// these blocks in the standard dataflow style (paper §2: "this pass
+// analyzes basic blocks with modified start states, propagating changes to
+// successor blocks, until a fixed point is reached").
+package cfg
+
+import (
+	"fmt"
+
+	"satbelim/internal/bytecode"
+)
+
+// Block is a maximal straight-line instruction sequence.
+type Block struct {
+	ID    int
+	Start int // first pc (inclusive)
+	End   int // last pc + 1 (exclusive)
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of one method.
+type Graph struct {
+	Method *bytecode.Method
+	Blocks []*Block
+	// blockOf maps each pc to its containing block id.
+	blockOf []int
+}
+
+// Build constructs the CFG for a method.
+func Build(m *bytecode.Method) (*Graph, error) {
+	n := len(m.Code)
+	if n == 0 {
+		return nil, fmt.Errorf("%s: empty method body", m.QualifiedName())
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := 0; pc < n; pc++ {
+		in := &m.Code[pc]
+		if in.IsBranch() {
+			t := int(in.A)
+			if t < 0 || t >= n {
+				return nil, fmt.Errorf("%s: pc %d: branch target %d out of range", m.QualifiedName(), pc, t)
+			}
+			leader[t] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		} else if in.IsTerminator() && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+
+	g := &Graph{Method: m, blockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, &Block{ID: len(g.Blocks), Start: pc})
+		}
+		g.blockOf[pc] = len(g.Blocks) - 1
+	}
+	for i, b := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			b.End = g.Blocks[i+1].Start
+		} else {
+			b.End = n
+		}
+	}
+
+	for _, b := range g.Blocks {
+		last := &m.Code[b.End-1]
+		addSucc := func(pc int) {
+			sid := g.blockOf[pc]
+			b.Succs = append(b.Succs, sid)
+			g.Blocks[sid].Preds = append(g.Blocks[sid].Preds, b.ID)
+		}
+		if last.IsBranch() {
+			addSucc(int(last.A))
+			if last.Op != bytecode.OpGoto && b.End < n {
+				addSucc(b.End)
+			}
+		} else if !last.IsTerminator() {
+			if b.End >= n {
+				return nil, fmt.Errorf("%s: control falls off the end of the method", m.QualifiedName())
+			}
+			addSucc(b.End)
+		}
+	}
+	return g, nil
+}
+
+// BlockOf returns the id of the block containing pc.
+func (g *Graph) BlockOf(pc int) int { return g.blockOf[pc] }
+
+// ReversePostorder returns block ids in reverse postorder from the entry,
+// the classic iteration order for forward dataflow problems. Unreachable
+// blocks are appended at the end in id order so that analyses still visit
+// them (conservatively).
+func (g *Graph) ReversePostorder() []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		seen[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(0)
+	order := make([]int, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for id := range g.Blocks {
+		if !seen[id] {
+			order = append(order, id)
+		}
+	}
+	return order
+}
+
+// Reachable reports which blocks are reachable from the entry.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[id].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	s := ""
+	for _, b := range g.Blocks {
+		s += fmt.Sprintf("B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return s
+}

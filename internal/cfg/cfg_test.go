@@ -1,0 +1,162 @@
+package cfg
+
+import (
+	"testing"
+
+	"satbelim/internal/bytecode"
+)
+
+// loopMethod builds:
+//
+//	0: const 0        B0
+//	1: store 0
+//	2: load 0         B1 (loop head)
+//	3: const 10
+//	4: cmplt
+//	5: iffalse -> 10
+//	6: load 0         B2 (body)
+//	7: const 1
+//	8: add
+//	9: goto -> 2  ... wait, 9 stores? keep simple: add then goto (value dropped is fine for CFG)
+//	10: return        B3
+func loopMethod() *bytecode.Method {
+	b := bytecode.NewBuilder("T", "m", true)
+	s := b.DeclareSlot(bytecode.Int)
+	b.Const(0)
+	b.Store(s)
+	b.Label("head")
+	b.Load(s)
+	b.Const(10)
+	b.Op(bytecode.OpCmpLT)
+	b.IfFalse("end")
+	b.Load(s)
+	b.Const(1)
+	b.Op(bytecode.OpAdd)
+	b.Store(s)
+	b.Goto("head")
+	b.Label("end")
+	b.Return()
+	return b.Build()
+}
+
+func TestBuildLoopCFG(t *testing.T) {
+	g, err := Build(loopMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4:\n%s", len(g.Blocks), g)
+	}
+	// B0 -> B1; B1 -> B3 (branch) and B2 (fallthrough); B2 -> B1; B3 end.
+	if len(g.Blocks[0].Succs) != 1 || g.Blocks[0].Succs[0] != 1 {
+		t.Errorf("B0 succs = %v", g.Blocks[0].Succs)
+	}
+	if len(g.Blocks[1].Succs) != 2 {
+		t.Errorf("B1 succs = %v", g.Blocks[1].Succs)
+	}
+	if len(g.Blocks[2].Succs) != 1 || g.Blocks[2].Succs[0] != 1 {
+		t.Errorf("B2 succs = %v", g.Blocks[2].Succs)
+	}
+	if len(g.Blocks[3].Succs) != 0 {
+		t.Errorf("B3 succs = %v", g.Blocks[3].Succs)
+	}
+	if len(g.Blocks[1].Preds) != 2 {
+		t.Errorf("B1 preds = %v", g.Blocks[1].Preds)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	g, err := Build(loopMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BlockOf(0) != 0 || g.BlockOf(2) != 1 || g.BlockOf(6) != 2 {
+		t.Errorf("BlockOf: %d %d %d", g.BlockOf(0), g.BlockOf(2), g.BlockOf(6))
+	}
+}
+
+func TestReversePostorderVisitsAll(t *testing.T) {
+	g, err := Build(loopMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := g.ReversePostorder()
+	if len(order) != len(g.Blocks) {
+		t.Fatalf("order length %d", len(order))
+	}
+	if order[0] != 0 {
+		t.Error("entry block should be first")
+	}
+	seen := map[int]bool{}
+	for _, id := range order {
+		seen[id] = true
+	}
+	for id := range g.Blocks {
+		if !seen[id] {
+			t.Errorf("block %d missing from RPO", id)
+		}
+	}
+}
+
+func TestUnreachableBlockStillListed(t *testing.T) {
+	b := bytecode.NewBuilder("T", "m", true)
+	b.Return()
+	// Dead code after return.
+	b.Const(1)
+	b.Op(bytecode.OpPop)
+	b.Return()
+	g, err := Build(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(g.Blocks))
+	}
+	reach := g.Reachable()
+	if !reach[0] || reach[1] {
+		t.Errorf("reachable = %v", reach)
+	}
+	order := g.ReversePostorder()
+	if len(order) != 2 {
+		t.Errorf("RPO should include unreachable blocks: %v", order)
+	}
+}
+
+func TestEmptyMethodRejected(t *testing.T) {
+	m := &bytecode.Method{Class: "T", Name: "m"}
+	if _, err := Build(m); err == nil {
+		t.Fatal("expected error for empty method")
+	}
+}
+
+func TestFallOffEndRejected(t *testing.T) {
+	b := bytecode.NewBuilder("T", "m", true)
+	b.Const(1)
+	b.Op(bytecode.OpPop)
+	if _, err := Build(b.Build()); err == nil {
+		t.Fatal("expected error when control falls off the method end")
+	}
+}
+
+func TestBranchTargetOutOfRange(t *testing.T) {
+	m := &bytecode.Method{Class: "T", Name: "m", Code: []bytecode.Instr{
+		{Op: bytecode.OpGoto, A: 5},
+	}}
+	if _, err := Build(m); err == nil {
+		t.Fatal("expected error for out-of-range target")
+	}
+}
+
+func TestSingleBlock(t *testing.T) {
+	b := bytecode.NewBuilder("T", "m", true)
+	b.Const(1)
+	b.Op(bytecode.OpPrint)
+	b.Return()
+	g, err := Build(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 1 || g.Blocks[0].Start != 0 || g.Blocks[0].End != 3 {
+		t.Errorf("single block shape: %s", g)
+	}
+}

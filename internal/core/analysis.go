@@ -1,0 +1,869 @@
+package core
+
+import (
+	"fmt"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/cfg"
+	"satbelim/internal/intval"
+)
+
+// Mode selects which analyses run (the B/F/A configurations of §4.4).
+type Mode int
+
+const (
+	// ModeNone performs no analysis (baseline B).
+	ModeNone Mode = iota
+	// ModeField runs the field analysis only (F).
+	ModeField
+	// ModeFieldArray runs the field and array analyses (A).
+	ModeFieldArray
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "B"
+	case ModeField:
+		return "F"
+	default:
+		return "A"
+	}
+}
+
+// Options configure an analysis run.
+type Options struct {
+	Mode Mode
+	// NullOrSame additionally marks stores proven to overwrite null or
+	// rewrite the value already present (§4.3 extension).
+	NullOrSame bool
+	// Rearrange additionally marks array-element swap pairs for the
+	// §4.3 optimistic retrace protocol. Opt-in: it assumes rearranged
+	// arrays are not written by other threads without synchronization
+	// (the paper's stated precondition).
+	Rearrange bool
+
+	// Ablations (see DESIGN.md §5):
+	// SingleRefPerSite collapses R_id/A and R_id/B into one summary
+	// node, forcing weak updates everywhere.
+	SingleRefPerSite bool
+	// FlowInsensitiveEscape judges thread-locality by "ever escapes"
+	// instead of "escaped yet at this point".
+	FlowInsensitiveEscape bool
+	// NoStrideInference disables variable-unknown invention in merges,
+	// collapsing differing integers to ⊤.
+	NoStrideInference bool
+
+	// Interprocedural enables escape summaries (see summaries.go): a
+	// call escapes only the arguments its callee may publish or mutate,
+	// instead of all of them (§2.4's named future work).
+	Interprocedural bool
+	// Summaries supplies precomputed summaries; AnalyzeProgram fills it
+	// when Interprocedural is set and it is nil.
+	Summaries Summaries
+
+	// MaxBlockVisits bounds the fixed point per method (0 = default).
+	// On overflow the method is left unannotated (conservative).
+	MaxBlockVisits int
+}
+
+// MethodReport summarizes one method's analysis.
+type MethodReport struct {
+	Method *bytecode.Method
+	// Sites and eliminations are static counts of reference-store
+	// barrier sites in the method body.
+	FieldSites    int
+	ArraySites    int
+	FieldElided   int
+	ArrayElided   int
+	NullOrSame    int
+	Rearranged    int
+	BlockVisits   int
+	Converged     bool
+	AbstractRefs  int
+	BytecodeBytes int
+}
+
+// analyzer is the per-method analysis engine.
+type analyzer struct {
+	prog  *bytecode.Program
+	m     *bytecode.Method
+	g     *cfg.Graph
+	opts  Options
+	refs  *refTable
+	namer intval.Namer
+
+	entry []*state
+	seen  []bool
+
+	// siteLenConst names the unknown allocation length of each newarray
+	// site (lazily minted, stable across the fixed point).
+	siteLenConst map[int]intval.ConstU
+
+	// rt is the block-local rearrangement detector, active only during
+	// the judgment pass when Options.Rearrange is set.
+	rt *rearrangeTracker
+
+	// summaries, when non-nil, refines invoke escape effects.
+	summaries Summaries
+	// forSummary switches the analysis into summary mode: arguments
+	// start thread-local, returns escape their value, and mutations of
+	// arguments are recorded.
+	forSummary bool
+	// mutatedArgs collects argument references whose reference fields or
+	// elements the method may write (summary mode); intMutatedArgs
+	// collects those whose integer fields/elements it may write.
+	mutatedArgs    RefSet
+	intMutatedArgs RefSet
+	// summaryReach collects references reachable from argument fields,
+	// returned values, or escaped objects at return points (summary
+	// mode): such arguments are compromised for the caller.
+	summaryReach RefSet
+
+	// everNL accumulates every reference that enters NL in any state,
+	// for the flow-insensitive-escape ablation.
+	everNL RefSet
+
+	visits    int
+	maxVisits int
+}
+
+// AnalyzeMethod runs the analysis on one method, setting the Elide /
+// ElideNullOrSame flags on its instructions and returning a report.
+// ModeNone clears all flags and returns immediately.
+func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (*MethodReport, error) {
+	rep := &MethodReport{Method: m, Converged: true, BytecodeBytes: m.Size()}
+	for pc := range m.Code {
+		m.Code[pc].Elide = false
+		m.Code[pc].ElideNullOrSame = false
+		m.Code[pc].ElideRearrange = false
+	}
+	countSites(p, m, rep)
+	if opts.Mode == ModeNone {
+		return rep, nil
+	}
+	g, err := cfg.Build(m)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	a := &analyzer{
+		prog: p, m: m, g: g, opts: opts,
+		refs:      buildRefTable(m, opts.SingleRefPerSite),
+		entry:     make([]*state, len(g.Blocks)),
+		seen:      make([]bool, len(g.Blocks)),
+		maxVisits: opts.MaxBlockVisits,
+	}
+	if opts.Interprocedural {
+		a.summaries = opts.Summaries
+	}
+	if a.maxVisits <= 0 {
+		a.maxVisits = 200*len(g.Blocks) + 2000
+	}
+	rep.AbstractRefs = a.refs.count()
+
+	a.entry[0] = a.initialState()
+	a.seen[0] = true
+	if !a.fixpoint() {
+		rep.Converged = false
+		rep.BlockVisits = a.visits
+		return rep, nil
+	}
+	rep.BlockVisits = a.visits
+	a.judge(rep)
+	return rep, nil
+}
+
+// countSites counts the barrier sites (reference-storing putfield and
+// aastore instructions).
+func countSites(p *bytecode.Program, m *bytecode.Method, rep *MethodReport) {
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		switch in.Op {
+		case bytecode.OpPutField:
+			if ft := p.FieldType(in.Field); ft.IsRef() {
+				rep.FieldSites++
+			}
+		case bytecode.OpAAStore:
+			rep.ArraySites++
+		}
+	}
+}
+
+// initialState builds the method-entry state of §2.3 / §3.4.
+func (a *analyzer) initialState() *state {
+	s := newState(a.m.NumSlots)
+	s.nl = SingletonRef(GlobalRefID)
+	for i := range s.locals {
+		s.locals[i] = Bottom
+	}
+	slot := 0
+	for i := 0; i < a.m.NumArgs(); i++ {
+		at := a.m.ArgType(i)
+		if at.IsRef() {
+			r := a.refs.argRef[i]
+			s.locals[slot] = RefValue(SingletonRef(r))
+			if !(a.m.Ctor && i == 0) && !a.forSummary {
+				// Non-constructor reference arguments are non-thread-
+				// local from the start. In summary mode they start
+				// local so their genuine escapes can be observed.
+				s.nl = s.nl.With(r)
+			}
+			if at.Kind == bytecode.KindArray {
+				// Len(R_arg(i)) = fresh constant unknown (§3.4).
+				s.length[r] = intval.OfConstU(a.namer.FreshConst())
+			}
+		} else {
+			// Integer inputs become constant unknowns (§3.4).
+			s.locals[slot] = IntValue(intval.OfConstU(a.namer.FreshConst()))
+		}
+		slot++
+	}
+	a.everNL = s.nl
+	return s
+}
+
+// fixpoint iterates blocks to a fixed point; false means the visit budget
+// was exhausted.
+func (a *analyzer) fixpoint() bool {
+	work := []int{0}
+	inWork := make([]bool, len(a.g.Blocks))
+	inWork[0] = true
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		a.visits++
+		if a.visits > a.maxVisits {
+			return false
+		}
+		out, targets := a.simulate(a.entry[id].clone(), a.g.Blocks[id], nil)
+		a.everNL = a.everNL.Union(out.nl)
+		for _, tgt := range targets {
+			var changed bool
+			switch {
+			case !a.seen[tgt]:
+				a.seen[tgt] = true
+				a.entry[tgt] = out.clone()
+				changed = true
+			case len(a.g.Blocks[tgt].Preds) == 1:
+				// A single-predecessor block's entry is exactly its
+				// predecessor's out state; re-merging it with its own
+				// stale entry would degrade stride variables to ⊤
+				// (merging i=0 from the first pass with i=v from the
+				// head's fixed point). Joins happen only at real join
+				// points.
+				ns := out.clone()
+				changed = !statesEqual(a.entry[tgt], ns)
+				a.entry[tgt] = ns
+			default:
+				a.entry[tgt], changed = mergeStates(a.entry[tgt], out, &a.namer, a.opts.NoStrideInference)
+			}
+			if changed && !inWork[tgt] {
+				work = append(work, tgt)
+				inWork[tgt] = true
+			}
+		}
+	}
+	return true
+}
+
+// judge performs the final pass: with fixed-point entry states, it
+// re-simulates every reachable block, and the judgment hook marks sites
+// ("the last such judgment (at the fixed point of the analysis) is
+// correct", §2.4).
+func (a *analyzer) judge(rep *MethodReport) {
+	fieldElided := map[int]bool{}
+	arrayElided := map[int]bool{}
+	nosElided := map[int]bool{}
+	rearranged := map[int]bool{}
+	judgeFn := func(pc int, kind judgeKind) {
+		switch kind {
+		case judgeField:
+			fieldElided[pc] = true
+		case judgeArray:
+			arrayElided[pc] = true
+		case judgeNullOrSame:
+			nosElided[pc] = true
+		case judgeRearrange:
+			rearranged[pc] = true
+		}
+	}
+	// Visit blocks in reverse postorder so that a single-predecessor
+	// block can continue its predecessor's judge-pass state and
+	// rearrangement tracker: swaps routinely straddle the conditional
+	// guard and its then-block, and straight-line flow preserves the
+	// value identities the detector relies on.
+	outs := make([]*state, len(a.g.Blocks))
+	trackers := make([]*rearrangeTracker, len(a.g.Blocks))
+	for _, id := range a.g.ReversePostorder() {
+		if !a.seen[id] {
+			continue
+		}
+		var st *state
+		a.rt = nil
+		if preds := a.g.Blocks[id].Preds; len(preds) == 1 && outs[preds[0]] != nil {
+			st = outs[preds[0]].clone()
+			if a.opts.Rearrange && trackers[preds[0]] != nil {
+				a.rt = trackers[preds[0]].fork()
+			}
+		} else {
+			st = a.entry[id].clone()
+		}
+		if a.opts.Rearrange && a.rt == nil {
+			a.rt = newRearrangeTracker()
+		}
+		out, _ := a.simulate(st, a.g.Blocks[id], judgeFn)
+		outs[id] = out
+		if a.rt != nil {
+			a.rt.detectSwaps(judgeFn)
+			trackers[id] = a.rt
+			a.rt = nil
+		}
+	}
+	for pc := range fieldElided {
+		a.m.Code[pc].Elide = true
+		rep.FieldElided++
+	}
+	if a.opts.Mode == ModeFieldArray {
+		for pc := range arrayElided {
+			a.m.Code[pc].Elide = true
+			rep.ArrayElided++
+		}
+	}
+	if a.opts.NullOrSame {
+		for pc := range nosElided {
+			if !a.m.Code[pc].Elide {
+				a.m.Code[pc].ElideNullOrSame = true
+				rep.NullOrSame++
+			}
+		}
+	}
+	if a.opts.Rearrange {
+		for pc := range rearranged {
+			in := &a.m.Code[pc]
+			if !in.Elide && !in.ElideNullOrSame {
+				in.ElideRearrange = true
+				rep.Rearranged++
+			}
+		}
+	}
+}
+
+// judgeKind distinguishes the three elision judgments.
+type judgeKind int
+
+const (
+	judgeField judgeKind = iota
+	judgeArray
+	judgeNullOrSame
+	judgeRearrange
+)
+
+// buildGraph wraps cfg.Build for use by the summary computation.
+func buildGraph(m *bytecode.Method) (*cfg.Graph, error) { return cfg.Build(m) }
+
+// markMutated records argument references whose reference fields/elements
+// the method writes (summary mode).
+func (a *analyzer) markMutated(targets RefSet) {
+	targets.ForEach(func(r RefID) {
+		if a.refs.info(r).kind == refArg {
+			a.mutatedArgs = a.mutatedArgs.With(r)
+		}
+	})
+}
+
+// markIntMutated records integer-field/element writes to arguments.
+func (a *analyzer) markIntMutated(targets RefSet) {
+	targets.ForEach(func(r RefID) {
+		if a.refs.info(r).kind == refArg {
+			a.intMutatedArgs = a.intMutatedArgs.With(r)
+		}
+	})
+}
+
+// markIntMutatedIf conditionally records scalar mutation.
+func (a *analyzer) markIntMutatedIf(cond bool, targets RefSet) {
+	if cond {
+		a.markIntMutated(targets)
+	}
+}
+
+// recordSummaryReturn accumulates, at a return point, every reference a
+// caller (or another thread) could reach afterwards: escaped references,
+// the returned value, and anything stored in an argument's fields.
+func (a *analyzer) recordSummaryReturn(s *state, hasValue bool) {
+	set := s.nl
+	if hasValue {
+		top := s.stack[len(s.stack)-1]
+		if top.IsRefs() {
+			set = set.Union(top.Refs())
+		}
+	}
+	for k, v := range s.sigma {
+		if a.refs.info(k.ref).kind != refArg || !v.IsRefs() {
+			continue
+		}
+		set = set.Union(v.Refs())
+	}
+	a.summaryReach = a.summaryReach.Union(s.reachFrom(set))
+}
+
+// siteLen returns the stable length symbol for a newarray site.
+func (a *analyzer) siteLen(pc int) intval.ConstU {
+	if a.siteLenConst == nil {
+		a.siteLenConst = map[int]intval.ConstU{}
+	}
+	c, ok := a.siteLenConst[pc]
+	if !ok {
+		c = a.namer.FreshConst()
+		a.siteLenConst[pc] = c
+	}
+	return c
+}
+
+// isNonLocal consults NL, or everNL under the flow-insensitive ablation.
+func (a *analyzer) isNonLocal(s *state, r RefID) bool {
+	if a.opts.FlowInsensitiveEscape {
+		return a.everNL.Has(r)
+	}
+	return s.nl.Has(r)
+}
+
+// trackArrays reports whether Len/NR bookkeeping is active.
+func (a *analyzer) trackArrays() bool { return a.opts.Mode == ModeFieldArray }
+
+// simulate interprets one block from the given state. judgeFn, when
+// non-nil, receives the elision judgment for each barrier site traversed.
+// It returns the out state and successor block ids.
+func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind judgeKind)) (*state, []int) {
+	var targets []int
+	for pc := b.Start; pc < b.End; pc++ {
+		in := &a.m.Code[pc]
+		switch in.Op {
+		case bytecode.OpNop:
+		case bytecode.OpConst, bytecode.OpConstBool:
+			s.push(IntValue(intval.Const(in.A)))
+		case bytecode.OpConstNull:
+			s.push(NullValue())
+		case bytecode.OpLoad:
+			v := s.locals[in.A]
+			if v.IsBottom() {
+				// Read of a never-written slot (possible only in
+				// unverified code): conservative default by slot type.
+				if a.m.SlotTypes[in.A].IsRef() {
+					v = RefValue(SingletonRef(GlobalRefID))
+				} else {
+					v = TopInt()
+				}
+			}
+			if a.rt != nil {
+				if v.kind == vInt && v.iv.IsTop() {
+					// Freshen the unknown local to a stable per-slot
+					// symbol so index expressions stay comparable.
+					v = IntValue(a.rt.loadSlotInt(int(in.A), &a.namer))
+				} else if v.kind == vRefs {
+					v.vn = a.rt.loadSlotRef(int(in.A))
+				}
+			}
+			s.push(v)
+		case bytecode.OpStore:
+			s.locals[in.A] = s.pop()
+			if a.rt != nil {
+				a.rt.killSlot(int(in.A))
+			}
+		case bytecode.OpDup:
+			s.push(s.stack[len(s.stack)-1])
+		case bytecode.OpPop:
+			s.pop()
+		case bytecode.OpAdd:
+			y, x := s.pop(), s.pop()
+			s.push(IntValue(x.Int().Add(y.Int())))
+		case bytecode.OpSub:
+			y, x := s.pop(), s.pop()
+			s.push(IntValue(x.Int().Sub(y.Int())))
+		case bytecode.OpMul:
+			y, x := s.pop(), s.pop()
+			s.push(IntValue(x.Int().Mul(y.Int())))
+		case bytecode.OpNeg:
+			s.push(IntValue(s.pop().Int().Neg()))
+		case bytecode.OpDiv, bytecode.OpRem:
+			s.pop()
+			s.pop()
+			s.push(TopInt())
+		case bytecode.OpAnd, bytecode.OpOr,
+			bytecode.OpCmpEQ, bytecode.OpCmpNE, bytecode.OpCmpLT, bytecode.OpCmpLE,
+			bytecode.OpCmpGT, bytecode.OpCmpGE, bytecode.OpRefEQ, bytecode.OpRefNE:
+			s.pop()
+			s.pop()
+			s.push(TopInt())
+		case bytecode.OpNot:
+			s.pop()
+			s.push(TopInt())
+
+		case bytecode.OpGoto:
+			return s, []int{a.g.BlockOf(int(in.A))}
+		case bytecode.OpIfTrue, bytecode.OpIfFalse:
+			s.pop()
+			targets = append(targets, a.g.BlockOf(int(in.A)))
+		case bytecode.OpIfNull, bytecode.OpIfNonNull:
+			s.pop()
+			targets = append(targets, a.g.BlockOf(int(in.A)))
+
+		case bytecode.OpGetStatic:
+			ft := a.prog.FieldType(in.Field)
+			if ft.IsRef() {
+				v := RefValue(SingletonRef(GlobalRefID))
+				if a.rt != nil {
+					v.vn = a.rt.loadStaticRef(in.Field.String())
+				}
+				s.push(v)
+			} else {
+				s.push(TopInt())
+			}
+		case bytecode.OpPutStatic:
+			val := s.pop()
+			// Values stored into statics escape (AllNonTL).
+			s.escapeValue(val)
+			if a.opts.NullOrSame {
+				s.dropSrcsForField(in.Field.String())
+			}
+			if a.rt != nil {
+				a.rt.killStatic(in.Field.String())
+			}
+
+		case bytecode.OpGetField:
+			obj := s.pop()
+			ft := a.prog.FieldType(in.Field)
+			field := in.Field.String()
+			wantInt := !ft.IsRef()
+			var out Value
+			first := true
+			obj.Refs().ForEach(func(r RefID) {
+				v := s.lookup(r, field, wantInt)
+				if first {
+					out = v
+					first = false
+				} else {
+					out = weakMergeValue(out, v)
+				}
+			})
+			if first { // obj definitely null: unreachable past the NPE
+				if wantInt {
+					out = TopInt()
+				} else {
+					out = NullValue()
+				}
+			}
+			// Null-or-same provenance: a value loaded from (r, f) is
+			// trivially "null or the current content of (r, f)".
+			if a.opts.NullOrSame && !wantInt {
+				if r, one := obj.Refs().Single(); one {
+					out = out.withSrcs(singletonSrc(srcKey{ref: r, field: field}))
+				}
+			}
+			s.push(out)
+
+		case bytecode.OpPutField:
+			val := s.pop()
+			obj := s.pop()
+			ft := a.prog.FieldType(in.Field)
+			field := in.Field.String()
+			if judgeFn != nil && ft.IsRef() {
+				a.judgeFieldStore(s, pc, obj.Refs(), field, val, judgeFn)
+			}
+			if a.forSummary {
+				if ft.IsRef() {
+					a.markMutated(obj.Refs())
+				} else {
+					a.markIntMutated(obj.Refs())
+				}
+			}
+			// Strong update for a singleton unique reference, weak
+			// otherwise (§2.4).
+			if r, one := obj.Refs().Single(); one && a.refs.unique(r) {
+				s.sigma[sigKey{ref: r, field: field}] = val
+			} else {
+				obj.Refs().ForEach(func(r RefID) {
+					k := sigKey{ref: r, field: field}
+					old, ok := s.sigma[k]
+					if !ok {
+						old = defaultFor(val)
+					}
+					s.sigma[k] = weakMergeValue(old, val)
+				})
+			}
+			if a.opts.NullOrSame {
+				s.dropSrcsForField(field)
+			}
+			s.escapeCond(obj.Refs(), val)
+
+		case bytecode.OpNewInstance:
+			ra := a.refs.allocA[pc]
+			rb := a.refs.allocB[pc]
+			s.renameAlloc(ra, rb)
+			if a.opts.SingleRefPerSite {
+				// Weak semantics: the site's fields merge with null
+				// (no-op for absent entries) rather than resetting.
+				s.push(RefValue(SingletonRef(ra)))
+				break
+			}
+			// Fresh A name: the allocator zeroed the fields, which is
+			// exactly the σ default, so clearing any stale entries
+			// suffices.
+			for k := range s.sigma {
+				if k.ref == ra {
+					delete(s.sigma, k)
+				}
+			}
+			s.nl = s.nl.Without(ra)
+			s.intTainted = s.intTainted.Without(ra)
+			s.push(RefValue(SingletonRef(ra)))
+
+		case bytecode.OpNewArray:
+			n := s.pop().Int()
+			ra := a.refs.allocA[pc]
+			rb := a.refs.allocB[pc]
+			s.renameAlloc(ra, rb)
+			// The summary B inherits no length/range facts: its members'
+			// lengths differ across the site's executions.
+			delete(s.length, rb)
+			delete(s.nr, rb)
+			if !a.opts.SingleRefPerSite {
+				for k := range s.sigma {
+					if k.ref == ra {
+						delete(s.sigma, k)
+					}
+				}
+				s.nl = s.nl.Without(ra)
+				s.intTainted = s.intTainted.Without(ra)
+				delete(s.length, ra)
+				delete(s.nr, ra)
+				if a.trackArrays() {
+					if n.IsTop() {
+						// Unknown allocation length: name it with the
+						// site's length symbol. Within one window (until
+						// the next allocation here renames R_A) the most
+						// recent array's length is a fixed value, which
+						// is all the in-window judgments rely on.
+						n = intval.OfConstU(a.siteLen(pc))
+					}
+					s.length[ra] = n
+					if in.Type.IsRef() {
+						// NR(R_A) = [0 .. n-1] (§3.3).
+						s.nr[ra] = intval.Full(intval.Const(0), n.Sub(intval.Const(1)))
+					}
+				}
+			}
+			s.push(RefValue(SingletonRef(ra)))
+
+		case bytecode.OpArrayLength:
+			arr := s.pop()
+			out := intval.Top
+			first := true
+			arr.Refs().ForEach(func(r RefID) {
+				l, ok := s.length[r]
+				if !ok {
+					l = intval.Top
+				}
+				if first {
+					out = l
+					first = false
+				} else {
+					out = intval.Merge(out, l, nil)
+				}
+			})
+			s.push(IntValue(out))
+
+		case bytecode.OpAALoad:
+			ind := s.pop().Int()
+			arr := s.pop()
+			var out Value
+			first := true
+			arr.Refs().ForEach(func(r RefID) {
+				v := s.lookup(r, elemsField, false)
+				if first {
+					out = v
+					first = false
+				} else {
+					out = weakMergeValue(out, v)
+				}
+			})
+			if first {
+				out = NullValue()
+			}
+			if a.rt != nil {
+				out.eprov = &elemProv{arrVN: arr.vn, arr: arr.Refs(), idx: ind, seq: a.rt.tick()}
+			}
+			s.push(out)
+
+		case bytecode.OpAAStore:
+			val := s.pop()
+			ind := s.pop().Int()
+			arr := s.pop()
+			if judgeFn != nil {
+				a.judgeArrayStore(s, pc, arr.Refs(), ind, judgeFn)
+			}
+			if a.rt != nil {
+				a.rt.recordStore(pc, arr.vn, arr.Refs(), ind, val.eprov)
+			}
+			if a.forSummary {
+				a.markMutated(arr.Refs())
+			}
+			arr.Refs().ForEach(func(r RefID) {
+				k := sigKey{ref: r, field: elemsField}
+				old, ok := s.sigma[k]
+				if !ok {
+					old = NullValue()
+				}
+				s.sigma[k] = weakMergeValue(old, val)
+				if a.trackArrays() {
+					if rng, ok := s.nr[r]; ok {
+						nr := rng.Contract(ind)
+						if nr.IsEmpty() {
+							delete(s.nr, r)
+						} else {
+							s.nr[r] = nr
+						}
+					}
+				}
+			})
+			s.escapeCond(arr.Refs(), val)
+
+		case bytecode.OpIALoad:
+			s.pop()
+			s.pop()
+			s.push(TopInt())
+		case bytecode.OpIAStore:
+			s.pop()
+			s.pop()
+			arr := s.pop()
+			if a.forSummary {
+				a.markIntMutated(arr.Refs())
+			}
+
+		case bytecode.OpInvoke:
+			callee := a.prog.Method(in.Method)
+			n := callee.NumArgs()
+			args := make([]Value, n)
+			for i := n - 1; i >= 0; i-- {
+				args[i] = s.pop()
+			}
+			// Passed references escape: nAllNonTL (§2.4) — unless an
+			// interprocedural summary proves the callee neither
+			// publishes nor mutates the argument.
+			var sum *MethodSummary
+			if a.summaries != nil {
+				sum = a.summaries[in.Method]
+			}
+			for i, v := range args {
+				if sum != nil && i < len(sum.ArgCompromised) && !sum.ArgCompromised[i] {
+					// The argument stays thread-local; if the callee may
+					// write its scalar fields, the caller forgets its
+					// integer facts about it.
+					if sum.ArgIntMutated[i] && v.IsRefs() {
+						s.intTainted = s.intTainted.Union(v.Refs())
+					}
+					if a.forSummary && v.IsRefs() {
+						// Propagate mutation effects transitively in
+						// summary mode.
+						a.markIntMutatedIf(sum.ArgIntMutated[i], v.Refs())
+					}
+					continue
+				}
+				s.escapeValue(v)
+			}
+			if a.opts.NullOrSame {
+				// The callee may write any field of any escaped object.
+				s.dropAllSrcs()
+			}
+			if a.rt != nil {
+				a.rt.clobber()
+			}
+			if callee.Return != bytecode.Void {
+				if callee.Return.IsRef() {
+					s.push(RefValue(SingletonRef(GlobalRefID)))
+				} else {
+					s.push(TopInt())
+				}
+			}
+
+		case bytecode.OpSpawn:
+			recv := s.pop()
+			s.escapeValue(recv)
+			if a.opts.NullOrSame {
+				s.dropAllSrcs()
+			}
+			if a.rt != nil {
+				a.rt.clobber()
+			}
+
+		case bytecode.OpPrint:
+			s.pop()
+
+		case bytecode.OpReturn, bytecode.OpReturnValue, bytecode.OpTrap:
+			if a.forSummary && in.Op != bytecode.OpTrap {
+				a.recordSummaryReturn(s, in.Op == bytecode.OpReturnValue)
+			}
+			return s, targets
+		}
+	}
+	targets = append(targets, a.g.BlockOf(b.End))
+	return s, targets
+}
+
+// judgeFieldStore evaluates the putfield elision judgments (§2.4 pre-null
+// and §4.3 null-or-same) in the pre-instruction state.
+func (a *analyzer) judgeFieldStore(s *state, pc int, obj RefSet, field string, val Value, judgeFn func(int, judgeKind)) {
+	preNull := true
+	obj.ForEach(func(r RefID) {
+		if a.isNonLocal(s, r) || !s.fieldIsNull(r, field) {
+			preNull = false
+		}
+	})
+	if preNull {
+		judgeFn(pc, judgeField)
+		return
+	}
+	if !a.opts.NullOrSame {
+		return
+	}
+	nos := true
+	obj.ForEach(func(r RefID) {
+		if a.isNonLocal(s, r) {
+			nos = false
+			return
+		}
+		if s.fieldIsNull(r, field) {
+			return // overwrites null for this target
+		}
+		if val.srcs.has(srcKey{ref: r, field: field}) {
+			return // rewrites the value already present
+		}
+		nos = false
+	})
+	if nos {
+		judgeFn(pc, judgeNullOrSame)
+	}
+}
+
+// judgeArrayStore evaluates the aastore elision judgment: every possible
+// array is thread-local and the index lies in its known-null range.
+func (a *analyzer) judgeArrayStore(s *state, pc int, arr RefSet, ind intval.IntVal, judgeFn func(int, judgeKind)) {
+	if !a.trackArrays() {
+		return
+	}
+	ok := true
+	arr.ForEach(func(r RefID) {
+		if a.isNonLocal(s, r) {
+			ok = false
+			return
+		}
+		rng, has := s.nr[r]
+		if !has || !rng.Covers(ind) {
+			ok = false
+		}
+	})
+	if ok {
+		judgeFn(pc, judgeArray)
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"satbelim/internal/bytecode"
+)
+
+func optsR() Options { return Options{Mode: ModeFieldArray, Rearrange: true} }
+
+// rearranged lists pcs flagged ElideRearrange.
+func rearranged(m *bytecode.Method) []int {
+	var out []int
+	for pc := range m.Code {
+		if m.Code[pc].ElideRearrange {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+const swapSrc = `
+class T { int v; }
+class U {
+    static T[] data;
+    static void swap(int i, int j) {
+        T a = U.data[i];
+        T b = U.data[j];
+        U.data[i] = b;
+        U.data[j] = a;
+    }
+}
+`
+
+func TestSwapIdiomDetected(t *testing.T) {
+	p, rep := analyzeSrc(t, swapSrc, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "swap"})
+	got := rearranged(m)
+	if len(got) != 2 {
+		t.Fatalf("both swap stores should be flagged, got %v:\n%s", got, bytecode.Disassemble(m))
+	}
+	total := 0
+	for _, mr := range rep.Methods {
+		total += mr.Rearranged
+	}
+	if total != 2 {
+		t.Errorf("report Rearranged = %d", total)
+	}
+}
+
+func TestSwapNotDetectedWithoutOption(t *testing.T) {
+	p, _ := analyzeSrc(t, swapSrc, 100, optsA())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "swap"})
+	if got := rearranged(m); len(got) != 0 {
+		t.Errorf("option off: got %v", got)
+	}
+}
+
+func TestMoveDownLoopNotASwap(t *testing.T) {
+	// The delete-by-move-down idiom loses the first element's value: it
+	// must NOT be treated as a swap (a retrace would not resurrect the
+	// deleted value).
+	src := `
+class T { int v; }
+class U {
+    static T[] data;
+    static void deleteFirst(int n) {
+        for (int j = 0; j < n - 1; j = j + 1) {
+            U.data[j] = U.data[j + 1];
+        }
+        U.data[n - 1] = null;
+    }
+}
+`
+	p, _ := analyzeSrc(t, src, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "deleteFirst"})
+	if got := rearranged(m); len(got) != 0 {
+		t.Errorf("move-down must not be flagged, got %v:\n%s", got, bytecode.Disassemble(m))
+	}
+}
+
+func TestSwapWithInterveningStoreNotDetected(t *testing.T) {
+	src := `
+class T { int v; }
+class U {
+    static T[] data;
+    static void notASwap(int i, int j, int k, T x) {
+        T a = U.data[i];
+        T b = U.data[j];
+        U.data[i] = b;
+        U.data[k] = x;    // interferes: may clobber data[j]
+        U.data[j] = a;
+    }
+}
+`
+	p, _ := analyzeSrc(t, src, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "notASwap"})
+	if got := rearranged(m); len(got) != 0 {
+		t.Errorf("interfered pair must not be flagged, got %v", got)
+	}
+}
+
+func TestSwapWithInterveningCallNotDetected(t *testing.T) {
+	src := `
+class T { int v; }
+class U {
+    static T[] data;
+    static void touch() { }
+    static void notASwap(int i, int j) {
+        T a = U.data[i];
+        T b = U.data[j];
+        U.data[i] = b;
+        U.touch();        // call may rearrange anything
+        U.data[j] = a;
+    }
+}
+`
+	p, _ := analyzeSrc(t, swapHelperInline(src), 0, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "notASwap"})
+	if got := rearranged(m); len(got) != 0 {
+		t.Errorf("call-split pair must not be flagged, got %v", got)
+	}
+}
+
+// swapHelperInline keeps the source unchanged; inline limit 0 in the call
+// test preserves the invoke.
+func swapHelperInline(s string) string { return s }
+
+func TestCrossArraySwapNotDetected(t *testing.T) {
+	// Values exchanged between two different arrays: not a same-array
+	// permutation; the target of each store is not pinned to the source
+	// of the other value.
+	src := `
+class T { int v; }
+class U {
+    static T[] one;
+    static T[] two;
+    static void crossSwap(int i, int j) {
+        T a = U.one[i];
+        T b = U.two[j];
+        U.one[i] = b;
+        U.two[j] = a;
+    }
+}
+`
+	p, _ := analyzeSrc(t, src, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "crossSwap"})
+	if got := rearranged(m); len(got) != 0 {
+		t.Errorf("cross-array exchange must not be flagged, got %v", got)
+	}
+}
+
+func TestSwapAfterStaticReassignmentNotDetected(t *testing.T) {
+	// The array static is overwritten between the loads and the stores:
+	// value numbering must not identify the two reads.
+	src := `
+class T { int v; }
+class U {
+    static T[] data;
+    static T[] spare;
+    static void notASwap(int i, int j) {
+        T a = U.data[i];
+        T b = U.data[j];
+        U.data = U.spare;
+        U.data[i] = b;
+        U.data[j] = a;
+    }
+}
+`
+	p, _ := analyzeSrc(t, src, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "notASwap"})
+	if got := rearranged(m); len(got) != 0 {
+		t.Errorf("reassigned-array pair must not be flagged, got %v", got)
+	}
+}
+
+func TestSwapThroughLocalArrayVariable(t *testing.T) {
+	// The shell-sort shape: the array lives in a local, indices are
+	// loop-carried (⊤ at the fixed point) — the freshening machinery
+	// must still pair the stores.
+	src := `
+class T { int v; }
+class U {
+    static T[] data;
+    static void sortish(int n) {
+        T[] a = U.data;
+        int gap = n / 2;
+        int jj = gap;
+        while (jj < n) {
+            T x = a[jj - gap];
+            T y = a[jj];
+            if (x.v > y.v) {
+                a[jj - gap] = y;
+                a[jj] = x;
+            }
+            jj = jj + 1;
+        }
+    }
+}
+`
+	p, _ := analyzeSrc(t, src, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "sortish"})
+	got := rearranged(m)
+	if len(got) != 2 {
+		t.Errorf("loop-carried swap should be flagged, got %v:\n%s", got, bytecode.Disassemble(m))
+	}
+}
+
+func TestPreNullTakesPrecedenceOverRearrange(t *testing.T) {
+	// A swap on a freshly allocated local array: the stores are also
+	// provable pre-null? They are not (elements were just written), but
+	// an in-order init loop is; ensure flags don't double up.
+	src := `
+class T { int v; }
+class U {
+    static T[] build(int n, T seed) {
+        T[] a = new T[n];
+        for (int i = 0; i < n; i = i + 1) a[i] = seed;
+        return a;
+    }
+}
+`
+	p, _ := analyzeSrc(t, src, 100, optsR())
+	m := p.Method(bytecode.MethodRef{Class: "U", Name: "build"})
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		if in.Elide && in.ElideRearrange {
+			t.Errorf("pc %d double-flagged", pc)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"satbelim/internal/bytecode"
+)
+
+func TestRefSetBasics(t *testing.T) {
+	s := EmptyRefSet
+	if !s.IsEmpty() {
+		t.Fatal("empty set")
+	}
+	s = s.With(3).With(70).With(3)
+	if s.Count() != 2 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if !s.Has(3) || !s.Has(70) || s.Has(4) {
+		t.Error("membership")
+	}
+	s2 := s.Without(3)
+	if s2.Has(3) || !s.Has(3) {
+		t.Error("Without must not mutate the receiver")
+	}
+	if r, ok := SingletonRef(70).Single(); !ok || r != 70 {
+		t.Errorf("Single = %d, %v", r, ok)
+	}
+	if _, ok := s.Single(); ok {
+		t.Error("two-element set is not a singleton")
+	}
+	if _, ok := EmptyRefSet.Single(); ok {
+		t.Error("empty set is not a singleton")
+	}
+}
+
+func TestRefSetOps(t *testing.T) {
+	a := EmptyRefSet.With(1).With(2)
+	b := EmptyRefSet.With(2).With(65)
+	u := a.Union(b)
+	if u.Count() != 3 || !u.Has(65) {
+		t.Errorf("union = %v", u)
+	}
+	if !a.Intersects(b) {
+		t.Error("a and b share 2")
+	}
+	if a.Intersects(SingletonRef(9)) {
+		t.Error("no intersection expected")
+	}
+	if !u.Contains(a) || !u.Contains(b) || a.Contains(u) {
+		t.Error("containment")
+	}
+	if !a.Equal(EmptyRefSet.With(2).With(1)) {
+		t.Error("order-independent equality")
+	}
+}
+
+func genRefSet(r *rand.Rand) RefSet {
+	s := EmptyRefSet
+	for i := 0; i < r.Intn(6); i++ {
+		s = s.With(RefID(r.Intn(130)))
+	}
+	return s
+}
+
+func TestQuickRefSetUnionLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genRefSet(r), genRefSet(r), genRefSet(r)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(a).Equal(a) {
+			return false
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		return a.Union(b).Contains(a) && a.Union(b).Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRefSetWithWithout(t *testing.T) {
+	f := func(seed int64, id8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := genRefSet(r)
+		id := RefID(id8 % 130)
+		if !s.With(id).Has(id) {
+			return false
+		}
+		if s.With(id).Without(id).Has(id) {
+			return false
+		}
+		// ForEach visits exactly Count members in increasing order.
+		prev := RefID(-1)
+		n := 0
+		s.ForEach(func(x RefID) {
+			if x <= prev {
+				t.Fatalf("ForEach out of order: %d after %d", x, prev)
+			}
+			prev = x
+			n++
+		})
+		return n == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRefTableNamesEverything(t *testing.T) {
+	b := bytecode.NewBuilder("T", "m", false)
+	b.DeclareSlot(bytecode.ClassType("T")) // receiver
+	b.AddParam(bytecode.Int)
+	b.AddParam(bytecode.ArrayOf(bytecode.ClassType("U")))
+	b.New("T")
+	b.Op(bytecode.OpPop)
+	b.Const(3)
+	b.NewArray(bytecode.ClassType("U"))
+	b.Op(bytecode.OpPop)
+	b.Return()
+	m := b.Build()
+
+	tab := buildRefTable(m, false)
+	// Global + 2 ref args (receiver, array; the int param gets none) +
+	// 2 sites × 2 refs.
+	if tab.count() != 1+2+4 {
+		t.Fatalf("refs = %d", tab.count())
+	}
+	if _, ok := tab.argRef[0]; !ok {
+		t.Error("receiver ref missing")
+	}
+	if _, ok := tab.argRef[1]; ok {
+		t.Error("int param must not get a ref")
+	}
+	if _, ok := tab.argRef[2]; !ok {
+		t.Error("array param ref missing")
+	}
+	for pc, a := range tab.allocA {
+		if tab.allocB[pc] == a {
+			t.Error("A and B refs must differ")
+		}
+		if !tab.unique(a) {
+			t.Error("A refs are unique")
+		}
+		if tab.unique(tab.allocB[pc]) {
+			t.Error("B refs are summaries")
+		}
+	}
+
+	// Single-summary ablation: A == B, nothing unique.
+	tab2 := buildRefTable(m, true)
+	for pc, a := range tab2.allocA {
+		if tab2.allocB[pc] != a {
+			t.Error("ablation should collapse A and B")
+		}
+		if tab2.unique(a) {
+			t.Error("ablation removes uniqueness")
+		}
+	}
+}
+
+func TestCtorReceiverUniqueThreadLocal(t *testing.T) {
+	b := bytecode.NewBuilder("T", "<init>", false)
+	b.SetCtor()
+	b.DeclareSlot(bytecode.ClassType("T"))
+	b.Return()
+	m := b.Build()
+	tab := buildRefTable(m, false)
+	r := tab.argRef[0]
+	if !tab.unique(r) {
+		t.Error("constructor this must be unique (§2.3)")
+	}
+	// Non-ctor receiver is not unique.
+	b2 := bytecode.NewBuilder("T", "m", false)
+	b2.DeclareSlot(bytecode.ClassType("T"))
+	b2.Return()
+	tab2 := buildRefTable(b2.Build(), false)
+	if tab2.unique(tab2.argRef[0]) {
+		t.Error("plain method this must not be unique")
+	}
+}

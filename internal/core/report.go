@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"satbelim/internal/bytecode"
+)
+
+// ProgramReport aggregates per-method analysis reports.
+type ProgramReport struct {
+	Methods []*MethodReport
+	// AnalysisTime is the wall-clock time spent in AnalyzeMethod across
+	// the program (the paper's §4.4 compile-time metric).
+	AnalysisTime time.Duration
+}
+
+// AnalyzeProgram analyzes every method of the program in place, setting
+// barrier-elision flags on instructions.
+func AnalyzeProgram(p *bytecode.Program, opts Options) (*ProgramReport, error) {
+	rep := &ProgramReport{}
+	start := time.Now()
+	if opts.Interprocedural && opts.Summaries == nil {
+		sums, err := ComputeSummaries(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("summaries: %w", err)
+		}
+		opts.Summaries = sums
+	}
+	for _, m := range p.Methods() {
+		mr, err := AnalyzeMethod(p, m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.QualifiedName(), err)
+		}
+		rep.Methods = append(rep.Methods, mr)
+	}
+	rep.AnalysisTime = time.Since(start)
+	return rep, nil
+}
+
+// Totals sums the static site counts.
+func (r *ProgramReport) Totals() (fieldSites, arraySites, fieldElided, arrayElided, nullOrSame int) {
+	for _, m := range r.Methods {
+		fieldSites += m.FieldSites
+		arraySites += m.ArraySites
+		fieldElided += m.FieldElided
+		arrayElided += m.ArrayElided
+		nullOrSame += m.NullOrSame
+	}
+	return
+}
+
+// String renders a static-elimination summary.
+func (r *ProgramReport) String() string {
+	fs, as, fe, ae, nos := r.Totals()
+	var b strings.Builder
+	fmt.Fprintf(&b, "static barrier sites: %d field, %d array\n", fs, as)
+	fmt.Fprintf(&b, "statically elided:    %d field (%.1f%%), %d array (%.1f%%)",
+		fe, pct(fe, fs), ae, pct(ae, as))
+	if nos > 0 {
+		fmt.Fprintf(&b, ", %d null-or-same", nos)
+	}
+	fmt.Fprintf(&b, "\nanalysis time: %v\n", r.AnalysisTime)
+	var nc []string
+	for _, m := range r.Methods {
+		if !m.Converged {
+			nc = append(nc, m.Method.QualifiedName())
+		}
+	}
+	if len(nc) > 0 {
+		sort.Strings(nc)
+		fmt.Fprintf(&b, "did not converge (left unannotated): %s\n", strings.Join(nc, ", "))
+	}
+	return b.String()
+}
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

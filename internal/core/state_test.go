@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+
+	"satbelim/internal/intval"
+)
+
+func TestValueMergeBasics(t *testing.T) {
+	var n intval.Namer
+	ctx := intval.NewMergeCtx(&n)
+
+	// Bottom is the merge identity.
+	v := RefValue(SingletonRef(3))
+	if got := mergeValue(Bottom, v, ctx); !got.Equal(v) {
+		t.Error("⊥ ⊔ v = v")
+	}
+	if got := mergeValue(v, Bottom, ctx); !got.Equal(v) {
+		t.Error("v ⊔ ⊥ = v")
+	}
+	// Ref sets union.
+	w := RefValue(SingletonRef(5))
+	m := mergeValue(v, w, ctx)
+	if !m.Refs().Has(3) || !m.Refs().Has(5) {
+		t.Error("ref merge should union")
+	}
+	// Null (empty set) is a normal refs value.
+	m2 := mergeValue(NullValue(), v, ctx)
+	if !m2.Refs().Equal(SingletonRef(3)) {
+		t.Error("null ⊔ {r} = {r}")
+	}
+	// Kind mismatch degrades to top int (cannot occur in verified code).
+	m3 := mergeValue(v, IntValue(intval.Const(1)), ctx)
+	if !m3.Int().IsTop() {
+		t.Error("kind mismatch should degrade to ⊤ int")
+	}
+	// Ints go through the shared stride machinery.
+	m4 := mergeValue(IntValue(intval.Const(0)), IntValue(intval.Const(1)), ctx)
+	if !m4.Int().HasVar() {
+		t.Errorf("0 ⊔ 1 should invent a stride variable, got %v", m4)
+	}
+}
+
+func TestStateLookupDefaults(t *testing.T) {
+	s := newState(0)
+	s.nl = SingletonRef(GlobalRefID)
+
+	// Unknown field of a thread-local ref defaults to null / zero.
+	if v := s.lookup(5, "T.f", false); !v.Refs().IsEmpty() {
+		t.Errorf("ref default should be null, got %v", v)
+	}
+	if v := s.lookup(5, "T.k", true); !v.Int().Equal(intval.Const(0)) {
+		t.Errorf("int default should be 0, got %v", v)
+	}
+	// NL refs answer GlobalRef / ⊤.
+	if v := s.lookup(GlobalRefID, "T.f", false); !v.Refs().Equal(SingletonRef(GlobalRefID)) {
+		t.Errorf("NL lookup = %v", v)
+	}
+	if v := s.lookup(GlobalRefID, "T.k", true); !v.Int().IsTop() {
+		t.Errorf("NL int lookup = %v", v)
+	}
+	// fieldIsNull mirrors those rules.
+	if !s.fieldIsNull(5, "T.f") {
+		t.Error("unwritten field of local ref is null")
+	}
+	if s.fieldIsNull(GlobalRefID, "T.f") {
+		t.Error("NL fields are never known null")
+	}
+	s.sigma[sigKey{ref: 5, field: "T.f"}] = RefValue(SingletonRef(7))
+	if s.fieldIsNull(5, "T.f") {
+		t.Error("written field is not null")
+	}
+}
+
+func TestEscapeTransitiveClosure(t *testing.T) {
+	s := newState(0)
+	s.nl = SingletonRef(GlobalRefID)
+	// 1 -> 2 -> 3 via σ; 4 unrelated.
+	s.sigma[sigKey{ref: 1, field: "T.a"}] = RefValue(SingletonRef(2))
+	s.sigma[sigKey{ref: 2, field: elemsField}] = RefValue(SingletonRef(3))
+	s.sigma[sigKey{ref: 4, field: "T.a"}] = RefValue(SingletonRef(4))
+
+	s.escape(SingletonRef(1))
+	for _, r := range []RefID{1, 2, 3} {
+		if !s.nl.Has(r) {
+			t.Errorf("ref %d should have escaped", r)
+		}
+	}
+	if s.nl.Has(4) {
+		t.Error("unreachable ref must not escape")
+	}
+}
+
+func TestEscapeCond(t *testing.T) {
+	s := newState(0)
+	s.nl = SingletonRef(GlobalRefID)
+	val := RefValue(SingletonRef(9))
+	// Store into a thread-local target: no escape.
+	s.escapeCond(SingletonRef(5), val)
+	if s.nl.Has(9) {
+		t.Error("store into local target must not escape the value")
+	}
+	// Store into a (possibly) NL target: value escapes.
+	s.escapeCond(SingletonRef(GlobalRefID), val)
+	if !s.nl.Has(9) {
+		t.Error("store into NL target must escape the value")
+	}
+}
+
+func TestRenameAllocMovesEverything(t *testing.T) {
+	s := newState(2)
+	s.nl = SingletonRef(GlobalRefID).With(2) // A-ref 2 escaped
+	s.locals[0] = RefValue(SingletonRef(2))
+	s.stack = append(s.stack, RefValue(SingletonRef(2).With(7)))
+	s.sigma[sigKey{ref: 2, field: "T.f"}] = RefValue(SingletonRef(2))
+	s.sigma[sigKey{ref: 7, field: "T.g"}] = RefValue(SingletonRef(2))
+	s.length[2] = intval.Const(4)
+	s.nr[2] = intval.Low(intval.Const(1))
+
+	s.renameAlloc(2, 3) // A=2 -> B=3
+
+	if s.locals[0].Refs().Has(2) || !s.locals[0].Refs().Has(3) {
+		t.Error("locals not renamed")
+	}
+	if s.stack[0].Refs().Has(2) || !s.stack[0].Refs().Has(3) || !s.stack[0].Refs().Has(7) {
+		t.Error("stack not renamed")
+	}
+	if s.nl.Has(2) || !s.nl.Has(3) {
+		t.Error("NL not renamed")
+	}
+	if _, ok := s.sigma[sigKey{ref: 2, field: "T.f"}]; ok {
+		t.Error("σ key not transferred")
+	}
+	if v := s.sigma[sigKey{ref: 3, field: "T.f"}]; !v.Refs().Has(3) {
+		t.Errorf("σ transfer should rename values too, got %v", v)
+	}
+	if v := s.sigma[sigKey{ref: 7, field: "T.g"}]; v.Refs().Has(2) || !v.Refs().Has(3) {
+		t.Error("other entries' values not renamed")
+	}
+	if _, ok := s.length[2]; ok {
+		t.Error("Len not moved")
+	}
+	if l := s.length[3]; !l.Equal(intval.Const(4)) {
+		t.Errorf("Len(B) = %v", l)
+	}
+	if _, ok := s.nr[2]; ok {
+		t.Error("NR not moved")
+	}
+}
+
+func TestRenameAllocWeakMergeIntoSummary(t *testing.T) {
+	s := newState(0)
+	s.sigma[sigKey{ref: 2, field: "T.f"}] = RefValue(SingletonRef(9))
+	s.sigma[sigKey{ref: 3, field: "T.f"}] = RefValue(SingletonRef(8))
+	s.renameAlloc(2, 3)
+	got := s.sigma[sigKey{ref: 3, field: "T.f"}]
+	if !got.Refs().Has(8) || !got.Refs().Has(9) {
+		t.Errorf("summary merge should union: %v", got)
+	}
+	// Transferring into an absent summary entry must merge with the
+	// allocation default (null), not overwrite it away: the resulting
+	// entry keeps the A value.
+	s2 := newState(0)
+	s2.sigma[sigKey{ref: 2, field: "T.f"}] = RefValue(SingletonRef(9))
+	s2.renameAlloc(2, 3)
+	if got := s2.sigma[sigKey{ref: 3, field: "T.f"}]; !got.Refs().Has(9) {
+		t.Errorf("transfer into empty summary: %v", got)
+	}
+}
+
+func TestMergeStatesSigmaDefaults(t *testing.T) {
+	var n intval.Namer
+	a := newState(1)
+	b := newState(1)
+	a.locals[0] = NullValue()
+	b.locals[0] = NullValue()
+	// a has a non-null entry; b implicitly holds the null default.
+	a.sigma[sigKey{ref: 2, field: "T.f"}] = RefValue(SingletonRef(5))
+	merged, changed := mergeStates(a, b, &n, false)
+	// b's implicit default is null; union with {5} leaves a unchanged.
+	if changed {
+		t.Error("union with the implicit null default should not report change")
+	}
+	got := merged.sigma[sigKey{ref: 2, field: "T.f"}]
+	if !got.Refs().Has(5) {
+		t.Errorf("merged σ = %v", got)
+	}
+
+	// The reverse direction: a lacks the entry, b carries a non-default
+	// value — the merge must report a change.
+	c := newState(1)
+	c.locals[0] = NullValue()
+	d := newState(1)
+	d.locals[0] = NullValue()
+	d.sigma[sigKey{ref: 2, field: "T.f"}] = RefValue(SingletonRef(5))
+	merged2, changed2 := mergeStates(c, d, &n, false)
+	if !changed2 {
+		t.Error("a new non-default entry must report change")
+	}
+	if got := merged2.sigma[sigKey{ref: 2, field: "T.f"}]; !got.Refs().Has(5) {
+		t.Errorf("merged σ = %v", got)
+	}
+}
+
+func TestMergeStatesLenNRIntersection(t *testing.T) {
+	var n intval.Namer
+	a := newState(0)
+	b := newState(0)
+	a.length[2] = intval.Const(4)
+	a.nr[2] = intval.Low(intval.Const(0))
+	// b lacks both: merged must drop them (no information on one path).
+	merged, _ := mergeStates(a, b, &n, false)
+	if _, ok := merged.length[2]; ok {
+		t.Error("Len should intersect keys")
+	}
+	if _, ok := merged.nr[2]; ok {
+		t.Error("NR should intersect keys")
+	}
+}
+
+func TestStatesEqualTreatsDefaultsAsAbsent(t *testing.T) {
+	a := newState(1)
+	b := newState(1)
+	a.locals[0] = NullValue()
+	b.locals[0] = NullValue()
+	a.sigma[sigKey{ref: 2, field: "T.f"}] = NullValue() // explicit default
+	if !statesEqual(a, b) || !statesEqual(b, a) {
+		t.Error("explicit null entry equals absent entry")
+	}
+	a.sigma[sigKey{ref: 2, field: "T.f"}] = RefValue(SingletonRef(1))
+	if statesEqual(a, b) || statesEqual(b, a) {
+		t.Error("non-default entry must break equality")
+	}
+}
+
+func TestSrcSetOperations(t *testing.T) {
+	k1 := srcKey{ref: 1, field: "T.f"}
+	k2 := srcKey{ref: 2, field: "T.g"}
+	s := singletonSrc(k1)
+	if !s.has(k1) || s.has(k2) {
+		t.Error("membership")
+	}
+	both := &srcSet{keys: []srcKey{k1, k2}}
+	if got := both.intersect(singletonSrc(k1)); !got.has(k1) || got.has(k2) {
+		t.Error("intersect")
+	}
+	if got := both.dropField("T.g"); got.has(k2) || !got.has(k1) {
+		t.Error("dropField")
+	}
+	if got := both.dropRefs(SingletonRef(1)); got.has(k1) || !got.has(k2) {
+		t.Error("dropRefs")
+	}
+	var nilSet *srcSet
+	if nilSet.has(k1) || nilSet.intersect(s) != nil || nilSet.dropField("x") != nil {
+		t.Error("nil set behaviour")
+	}
+	if !nilSet.equal(nil) || nilSet.equal(s) {
+		t.Error("nil equality")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"satbelim/internal/bytecode"
+)
+
+// Interprocedural escape summaries — the future-work direction the paper
+// names in §2.4: "this conservative treatment of arguments of non-inlined
+// methods (and our current lack of interprocedural techniques) is
+// detrimental to the precision of the analysis."
+//
+// A MethodSummary records, per argument, whether a call may *compromise*
+// the argument for barrier-elision purposes: make it reachable by other
+// threads or callers (stored into a static, an escaped object, or the
+// return value) or mutate its fields/elements (which would invalidate the
+// caller's σ facts about it, including integer fields that may feed index
+// reasoning). An argument the callee only reads stays thread-local across
+// the call, so the caller's pre-null facts about it survive.
+//
+// Summaries are computed by running the same abstract interpretation in a
+// "summary mode" where arguments start thread-local and returning a value
+// escapes it, then reading each argument's fate off the ever-escaped set.
+// The computation starts from the worst case (every argument compromised)
+// and re-runs, letting summaries feed call sites, until a fixed point —
+// each stage is conservative, so stopping early is sound.
+
+// MethodSummary is the interprocedural fact set for one method.
+type MethodSummary struct {
+	// ArgCompromised[i] is false only when the callee provably neither
+	// publishes argument i (receiver = 0) nor mutates its reference
+	// fields/elements.
+	ArgCompromised []bool
+	// ArgIntMutated[i] records that the callee may write integer or
+	// boolean fields (or int-array elements) of argument i. A caller
+	// keeps such an argument thread-local but must forget its integer
+	// facts (stale indices could otherwise feed the array analysis).
+	// Constructors are the canonical case: they typically initialize
+	// scalar fields of their receiver.
+	ArgIntMutated []bool
+}
+
+// worstSummary compromises everything.
+func worstSummary(m *bytecode.Method) *MethodSummary {
+	s := &MethodSummary{
+		ArgCompromised: make([]bool, m.NumArgs()),
+		ArgIntMutated:  make([]bool, m.NumArgs()),
+	}
+	for i := range s.ArgCompromised {
+		s.ArgCompromised[i] = true
+		s.ArgIntMutated[i] = true
+	}
+	return s
+}
+
+// Summaries maps methods to their interprocedural facts.
+type Summaries map[bytecode.MethodRef]*MethodSummary
+
+// maxSummaryRounds bounds the whole-program least-fixed-point loop.
+// Compromise bits only get set, so the loop needs at most one round per
+// bit; the cap is a safety valve, and hitting it degrades every summary
+// to the worst case (sound).
+const maxSummaryRounds = 40
+
+// ComputeSummaries derives escape summaries for every method. opts is the
+// analysis configuration the summaries will be used with (ablations
+// apply to the summary computation too).
+//
+// The iteration starts optimistic (nothing compromised) and monotonically
+// sets bits until a fixed point: the summary function is monotone (more
+// compromised callees can only compromise more caller arguments), so this
+// computes the least fixed point — which is what lets read-only recursion
+// stay uncompromised. Intermediate states are unsound to consume, so the
+// result is only returned once converged.
+func ComputeSummaries(p *bytecode.Program, opts Options) (Summaries, error) {
+	sums := Summaries{}
+	methods := p.Methods()
+	for _, m := range methods {
+		sums[m.Ref()] = &MethodSummary{
+			ArgCompromised: make([]bool, m.NumArgs()),
+			ArgIntMutated:  make([]bool, m.NumArgs()),
+		}
+	}
+	for round := 0; round < maxSummaryRounds; round++ {
+		changed := false
+		for _, m := range methods {
+			ns, err := summarizeMethod(p, m, opts, sums)
+			if err != nil {
+				return nil, err
+			}
+			old := sums[m.Ref()]
+			for i := range ns.ArgCompromised {
+				// Monotone accumulation: never clear a bit.
+				if ns.ArgCompromised[i] && !old.ArgCompromised[i] {
+					old.ArgCompromised[i] = true
+					changed = true
+				}
+				if ns.ArgIntMutated[i] && !old.ArgIntMutated[i] {
+					old.ArgIntMutated[i] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return sums, nil
+		}
+	}
+	// Did not converge within the cap: degrade to the sound worst case.
+	for _, m := range methods {
+		sums[m.Ref()] = worstSummary(m)
+	}
+	return sums, nil
+}
+
+// summarizeMethod runs the analysis in summary mode and reads off each
+// argument's fate.
+func summarizeMethod(p *bytecode.Program, m *bytecode.Method, opts Options, sums Summaries) (*MethodSummary, error) {
+	g, err := buildGraph(m)
+	if err != nil {
+		// Structurally odd methods (none are produced by our codegen)
+		// keep the worst case.
+		return worstSummary(m), nil //nolint:nilerr // conservative fallback
+	}
+	a := &analyzer{
+		prog: p, m: m, opts: opts, g: g,
+		refs:       buildRefTable(m, opts.SingleRefPerSite),
+		entry:      make([]*state, len(g.Blocks)),
+		seen:       make([]bool, len(g.Blocks)),
+		summaries:  sums,
+		forSummary: true,
+		maxVisits:  200*len(g.Blocks) + 2000,
+	}
+	a.entry[0] = a.initialState()
+	a.seen[0] = true
+	if !a.fixpoint() {
+		return worstSummary(m), nil
+	}
+	out := &MethodSummary{
+		ArgCompromised: make([]bool, m.NumArgs()),
+		ArgIntMutated:  make([]bool, m.NumArgs()),
+	}
+	for i := 0; i < m.NumArgs(); i++ {
+		r, ok := a.refs.argRef[i]
+		if !ok {
+			continue // non-reference arguments are never compromised
+		}
+		out.ArgCompromised[i] = a.everNL.Has(r) || a.mutatedArgs.Has(r) || a.summaryReach.Has(r)
+		out.ArgIntMutated[i] = a.intMutatedArgs.Has(r)
+	}
+	return out, nil
+}

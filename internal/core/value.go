@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"satbelim/internal/intval"
+)
+
+// vkind classifies an abstract Value.
+type vkind int8
+
+const (
+	// vBottom is the uninitialized lattice bottom ⊥: merge identity.
+	vBottom vkind = iota
+	// vRefs is a set of possible abstract references; the empty set means
+	// definitely null.
+	vRefs
+	// vInt is a symbolic integer (booleans are folded into this domain).
+	vInt
+)
+
+// srcKey identifies a heap slot for the null-or-same extension (§4.3).
+type srcKey struct {
+	ref   RefID
+	field string
+}
+
+// srcSet records the null-or-same guarantees carried by a value: key k is
+// present when, at the current program point, the heap slot k either
+// contains this very value or contains null. Sets are immutable.
+type srcSet struct{ keys []srcKey } // sorted
+
+func (s *srcSet) has(k srcKey) bool {
+	if s == nil {
+		return false
+	}
+	i := sort.Search(len(s.keys), func(i int) bool {
+		return !srcKeyLess(s.keys[i], k)
+	})
+	return i < len(s.keys) && s.keys[i] == k
+}
+
+func srcKeyLess(a, b srcKey) bool {
+	if a.ref != b.ref {
+		return a.ref < b.ref
+	}
+	return a.field < b.field
+}
+
+func singletonSrc(k srcKey) *srcSet { return &srcSet{keys: []srcKey{k}} }
+
+// intersect returns the common guarantees of two sets.
+func (s *srcSet) intersect(t *srcSet) *srcSet {
+	if s == nil || t == nil {
+		return nil
+	}
+	var out []srcKey
+	i, j := 0, 0
+	for i < len(s.keys) && j < len(t.keys) {
+		switch {
+		case s.keys[i] == t.keys[j]:
+			out = append(out, s.keys[i])
+			i++
+			j++
+		case srcKeyLess(s.keys[i], t.keys[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return &srcSet{keys: out}
+}
+
+// dropField removes guarantees about any slot with the given field name
+// (conservative aliasing: a store to f anywhere may change any f).
+func (s *srcSet) dropField(field string) *srcSet {
+	if s == nil {
+		return nil
+	}
+	var out []srcKey
+	for _, k := range s.keys {
+		if k.field != field {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) == len(s.keys) {
+		return s
+	}
+	return &srcSet{keys: out}
+}
+
+// dropRefs removes guarantees about slots of escaped references: once an
+// object is reachable by other threads, "the field still holds this value"
+// can no longer be maintained (the paper's §4.3 mutator/mutator caveat).
+func (s *srcSet) dropRefs(nl RefSet) *srcSet {
+	if s == nil {
+		return nil
+	}
+	var out []srcKey
+	for _, k := range s.keys {
+		if !nl.Has(k.ref) {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) == len(s.keys) {
+		return s
+	}
+	return &srcSet{keys: out}
+}
+
+func (s *srcSet) equal(t *srcSet) bool {
+	if s == nil || t == nil {
+		return (s == nil) == (t == nil)
+	}
+	if len(s.keys) != len(t.keys) {
+		return false
+	}
+	for i := range s.keys {
+		if s.keys[i] != t.keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Value is one abstract value: a RefVal (set of references, empty = null),
+// a symbolic integer, or ⊥.
+type Value struct {
+	kind vkind
+	refs RefSet
+	iv   intval.IntVal
+	srcs *srcSet
+
+	// Block-local judge-pass annotations for the §4.3 rearrangement
+	// detector (never part of the fixed point; dropped at merges):
+	// vn is a value number pinning runtime identity of reference values
+	// within a block; eprov records that the value was loaded from an
+	// element of a specific array.
+	vn    int32
+	eprov *elemProv
+}
+
+// elemProv says a value was read from arr[idx] (array pinned by value
+// number arrVN) at block-local time seq.
+type elemProv struct {
+	arrVN int32
+	arr   RefSet
+	idx   intval.IntVal
+	seq   int
+}
+
+// Bottom is the ⊥ value.
+var Bottom = Value{kind: vBottom}
+
+// NullValue is the definitely-null reference value.
+func NullValue() Value { return Value{kind: vRefs} }
+
+// RefValue wraps a reference set.
+func RefValue(s RefSet) Value { return Value{kind: vRefs, refs: s} }
+
+// IntValue wraps a symbolic integer.
+func IntValue(iv intval.IntVal) Value { return Value{kind: vInt, iv: iv} }
+
+// TopInt is the unknown-integer value.
+func TopInt() Value { return Value{kind: vInt, iv: intval.Top} }
+
+// IsBottom reports whether v is ⊥.
+func (v Value) IsBottom() bool { return v.kind == vBottom }
+
+// IsRefs reports whether v is a reference value.
+func (v Value) IsRefs() bool { return v.kind == vRefs }
+
+// Refs returns the reference set (empty unless IsRefs).
+func (v Value) Refs() RefSet { return v.refs }
+
+// Int returns the symbolic integer; non-integers yield ⊤ conservatively.
+func (v Value) Int() intval.IntVal {
+	if v.kind != vInt {
+		return intval.Top
+	}
+	return v.iv
+}
+
+// withSrcs returns v carrying the given null-or-same guarantees.
+func (v Value) withSrcs(s *srcSet) Value {
+	v.srcs = s
+	return v
+}
+
+// Equal reports structural equality (srcs included: they are part of the
+// fixed point; vn/eprov excluded: they are block-local).
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case vRefs:
+		return v.refs.Equal(w.refs) && v.srcs.equal(w.srcs)
+	case vInt:
+		return v.iv.Equal(w.iv)
+	default:
+		return true
+	}
+}
+
+// mergeValue joins two values elementwise; integer components share the
+// state merge's stride context.
+func mergeValue(a, b Value, ctx *intval.MergeCtx) Value {
+	if a.kind == vBottom {
+		return b
+	}
+	if b.kind == vBottom {
+		return a
+	}
+	if a.kind != b.kind {
+		// Verified bytecode cannot mix kinds at a join; degrade safely.
+		return TopInt()
+	}
+	switch a.kind {
+	case vRefs:
+		// vn/eprov are block-local and do not survive joins.
+		return Value{kind: vRefs, refs: a.refs.Union(b.refs), srcs: a.srcs.intersect(b.srcs)}
+	default:
+		return Value{kind: vInt, iv: intval.Merge(a.iv, b.iv, ctx)}
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case vBottom:
+		return "⊥"
+	case vRefs:
+		s := v.refs.String()
+		if v.srcs != nil {
+			var parts []string
+			for _, k := range v.srcs.keys {
+				parts = append(parts, fmt.Sprintf("r%d.%s", k.ref, k.field))
+			}
+			s += "≡{" + strings.Join(parts, ",") + "}"
+		}
+		return s
+	default:
+		return v.iv.String()
+	}
+}

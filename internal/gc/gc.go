@@ -1,0 +1,364 @@
+// Package gc implements two concurrent-marking collectors over the VM
+// heap:
+//
+//   - SATBMarker: snapshot-at-the-beginning marking (Yuasa-style), the
+//     collector whose write barriers the paper's analyses elide. The
+//     mutator logs overwritten non-null references; objects allocated
+//     during marking are implicitly live; the marker traces the logical
+//     snapshot taken at mark start.
+//
+//   - IncMarker: a mostly-parallel incremental-update baseline (Boehm,
+//     Demers, Shenker): a cheap dirty-card barrier records modified
+//     objects, which a final stop-the-world phase rescans.
+//
+// Both are driven in deterministic steps interleaved with the interpreter
+// (cooperative simulation of concurrency), and both report how much work
+// their final pause required — reproducing the paper's observation that
+// SATB completion pauses are far smaller than incremental-update rescans.
+package gc
+
+import (
+	"fmt"
+
+	"satbelim/internal/heap"
+)
+
+// Marker is the collector interface the VM drives. It doubles as the
+// satb.Logger sink for barrier traffic.
+type Marker interface {
+	Start(roots []heap.Ref, recordSnapshot bool)
+	// Step performs up to n units of concurrent marking work; it reports
+	// whether the concurrent phase has nothing left to do.
+	Step(n int) bool
+	// Finish runs the final (stop-the-world) phase with the mutator's
+	// current roots and ends the cycle. It returns the number of objects
+	// scanned during the pause.
+	Finish(roots []heap.Ref) int
+	MarkingActive() bool
+	LogPreValue(r heap.Ref)
+	DirtyCard(r heap.Ref)
+	// TraceStateOf reports the collector's scan progress on an array
+	// (§4.3 rearrangement protocol); Retrace schedules the array for a
+	// full rescan in the final pause.
+	TraceStateOf(r heap.Ref) heap.TraceState
+	Retrace(r heap.Ref)
+}
+
+// SATBMarker is the snapshot-at-the-beginning concurrent marker.
+type SATBMarker struct {
+	h      *heap.Heap
+	gray   []heap.Ref
+	buf    []heap.Ref // SATB log buffer (drained by Step)
+	active bool
+	// retrace lists arrays whose rearrangement overlapped the scan; they
+	// are rescanned in the final pause (§4.3's "special retrace list").
+	retrace []heap.Ref
+
+	// snapshot is the set of objects reachable at mark start, recorded
+	// for the invariant check (tests only).
+	snapshot map[heap.Ref]bool
+
+	// MarkedCount counts objects marked this cycle; StepsDone counts
+	// marking work units; FinalPauseWork is the last Finish's scan count.
+	MarkedCount    int
+	StepsDone      int
+	FinalPauseWork int
+	LogEntries     int
+	// RetraceCount counts arrays rescanned by the rearrangement
+	// protocol this cycle.
+	RetraceCount int
+}
+
+// NewSATB returns a marker over the heap.
+func NewSATB(h *heap.Heap) *SATBMarker { return &SATBMarker{h: h} }
+
+// Start begins a marking cycle: the roots are greyed (the initial pause)
+// and the heap is flagged so allocations become implicitly marked.
+func (m *SATBMarker) Start(roots []heap.Ref, recordSnapshot bool) {
+	m.active = true
+	m.gray = m.gray[:0]
+	m.buf = m.buf[:0]
+	m.retrace = m.retrace[:0]
+	m.MarkedCount = 0
+	m.StepsDone = 0
+	m.LogEntries = 0
+	m.RetraceCount = 0
+	m.h.MarkingActive = true
+	m.h.ForEach(func(_ heap.Ref, o *heap.Object) { o.TraceState = heap.TraceUntraced })
+	for _, r := range roots {
+		m.shade(r)
+	}
+	m.snapshot = nil
+	if recordSnapshot {
+		m.snapshot = reachable(m.h, roots)
+	}
+}
+
+// shade greys an object if white.
+func (m *SATBMarker) shade(r heap.Ref) {
+	if r == heap.Null {
+		return
+	}
+	o := m.h.Get(r)
+	if o == nil || o.Marked {
+		return
+	}
+	o.Marked = true
+	m.MarkedCount++
+	m.gray = append(m.gray, r)
+}
+
+// MarkingActive reports whether a cycle is in progress.
+func (m *SATBMarker) MarkingActive() bool { return m.active }
+
+// LogPreValue receives an overwritten reference from the write barrier.
+func (m *SATBMarker) LogPreValue(r heap.Ref) {
+	if !m.active {
+		return
+	}
+	m.LogEntries++
+	m.buf = append(m.buf, r)
+}
+
+// DirtyCard is a no-op for SATB marking.
+func (m *SATBMarker) DirtyCard(heap.Ref) {}
+
+// Step drains up to n grey objects (and buffered log entries).
+func (m *SATBMarker) Step(n int) bool {
+	for i := 0; i < n; i++ {
+		if len(m.buf) > 0 {
+			r := m.buf[len(m.buf)-1]
+			m.buf = m.buf[:len(m.buf)-1]
+			m.shade(r)
+			m.StepsDone++
+			continue
+		}
+		if len(m.gray) == 0 {
+			return true
+		}
+		r := m.gray[len(m.gray)-1]
+		m.gray = m.gray[:len(m.gray)-1]
+		o := m.h.Get(r)
+		if o != nil {
+			// Publish the array scan window to the rearrangement
+			// protocol: a flagged store observing TraceTracing or
+			// TraceTraced requests a retrace.
+			o.TraceState = heap.TraceTracing
+			o.RefsOf(m.shade)
+			o.TraceState = heap.TraceTraced
+		}
+		m.StepsDone++
+	}
+	return len(m.gray) == 0 && len(m.buf) == 0
+}
+
+// TraceStateOf reports the scan progress on an object.
+func (m *SATBMarker) TraceStateOf(r heap.Ref) heap.TraceState {
+	o := m.h.Get(r)
+	if o == nil {
+		return heap.TraceUntraced
+	}
+	return o.TraceState
+}
+
+// Retrace schedules an array for a final-pause rescan.
+func (m *SATBMarker) Retrace(r heap.Ref) {
+	if m.active && r != heap.Null {
+		m.retrace = append(m.retrace, r)
+	}
+}
+
+// Finish completes the cycle: the final pause rescans the mutator's
+// current roots (stack contents may hold snapshot objects loaded during
+// marking) and drains remaining work. SATB needs no heap rescans here —
+// that is the source of its short completion pauses.
+func (m *SATBMarker) Finish(roots []heap.Ref) int {
+	work := 0
+	for _, r := range roots {
+		m.shade(r)
+	}
+	for !m.Step(64) {
+		work += 64
+	}
+	// Rescan arrays whose rearrangement may have raced the scan (§4.3's
+	// retrace list, processed "perhaps with mutators stopped, to prevent
+	// livelock" — here the mutator is stopped by construction).
+	for _, r := range m.retrace {
+		o := m.h.Get(r)
+		if o == nil || !o.Marked {
+			continue // unreachable arrays need no retrace
+		}
+		o.RefsOf(m.shade)
+		m.RetraceCount++
+		work++
+	}
+	m.retrace = m.retrace[:0]
+	for !m.Step(64) {
+		work += 64
+	}
+	// Count residual draining as pause work at step granularity.
+	work += len(roots)
+	m.FinalPauseWork = work
+	m.active = false
+	m.h.MarkingActive = false
+	return work
+}
+
+// CheckSnapshotInvariant verifies the SATB guarantee: every object
+// reachable at mark start is marked at mark end. It must be called after
+// Finish and before Sweep, on a marker started with recordSnapshot.
+func (m *SATBMarker) CheckSnapshotInvariant() error {
+	if m.snapshot == nil {
+		return fmt.Errorf("gc: no snapshot recorded")
+	}
+	for r := range m.snapshot {
+		o := m.h.Get(r)
+		if o == nil {
+			return fmt.Errorf("gc: snapshot object %d vanished during marking", r)
+		}
+		if !o.Marked && !o.AllocDuringMark {
+			return fmt.Errorf("gc: SATB invariant violated: snapshot-reachable object %d not marked", r)
+		}
+	}
+	return nil
+}
+
+// reachable computes the set of objects reachable from roots.
+func reachable(h *heap.Heap, roots []heap.Ref) map[heap.Ref]bool {
+	seen := map[heap.Ref]bool{}
+	var stack []heap.Ref
+	push := func(r heap.Ref) {
+		if r != heap.Null && !seen[r] && h.Get(r) != nil {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h.Get(r).RefsOf(push)
+	}
+	return seen
+}
+
+// Reachable exposes snapshot computation for tests and tools.
+func Reachable(h *heap.Heap, roots []heap.Ref) map[heap.Ref]bool { return reachable(h, roots) }
+
+// IncMarker is the mostly-parallel incremental-update baseline.
+type IncMarker struct {
+	h      *heap.Heap
+	gray   []heap.Ref
+	dirty  map[heap.Ref]bool
+	active bool
+
+	MarkedCount    int
+	StepsDone      int
+	FinalPauseWork int
+	CardsSeen      int
+}
+
+// NewInc returns an incremental-update marker.
+func NewInc(h *heap.Heap) *IncMarker {
+	return &IncMarker{h: h, dirty: map[heap.Ref]bool{}}
+}
+
+// Start begins a cycle.
+func (m *IncMarker) Start(roots []heap.Ref, recordSnapshot bool) {
+	m.active = true
+	m.gray = m.gray[:0]
+	m.dirty = map[heap.Ref]bool{}
+	m.MarkedCount = 0
+	m.StepsDone = 0
+	m.CardsSeen = 0
+	m.h.MarkingActive = true
+	for _, r := range roots {
+		m.shade(r)
+	}
+}
+
+func (m *IncMarker) shade(r heap.Ref) {
+	if r == heap.Null {
+		return
+	}
+	o := m.h.Get(r)
+	if o == nil || o.Marked {
+		return
+	}
+	o.Marked = true
+	m.MarkedCount++
+	m.gray = append(m.gray, r)
+}
+
+// MarkingActive reports whether a cycle is in progress.
+func (m *IncMarker) MarkingActive() bool { return m.active }
+
+// LogPreValue is a no-op for incremental update.
+func (m *IncMarker) LogPreValue(heap.Ref) {}
+
+// TraceStateOf always reports untraced: incremental update has no
+// rearrangement protocol (flagged stores fall back to card marking).
+func (m *IncMarker) TraceStateOf(heap.Ref) heap.TraceState { return heap.TraceUntraced }
+
+// Retrace records the array as dirty, the closest equivalent.
+func (m *IncMarker) Retrace(r heap.Ref) { m.DirtyCard(r) }
+
+// DirtyCard records a modified object for rescanning.
+func (m *IncMarker) DirtyCard(r heap.Ref) {
+	if m.active && r != heap.Null {
+		if !m.dirty[r] {
+			m.dirty[r] = true
+			m.CardsSeen++
+		}
+	}
+}
+
+// Step drains up to n grey objects.
+func (m *IncMarker) Step(n int) bool {
+	for i := 0; i < n; i++ {
+		if len(m.gray) == 0 {
+			return true
+		}
+		r := m.gray[len(m.gray)-1]
+		m.gray = m.gray[:len(m.gray)-1]
+		if o := m.h.Get(r); o != nil {
+			o.RefsOf(m.shade)
+		}
+		m.StepsDone++
+	}
+	return len(m.gray) == 0
+}
+
+// Finish is the stop-the-world completion: rescan roots and every dirty
+// object, repeatedly, until no new objects get marked. The rescan volume —
+// which includes every initializing store's object — is what makes
+// incremental-update completion pauses long (§1).
+func (m *IncMarker) Finish(roots []heap.Ref) int {
+	work := 0
+	for {
+		before := m.MarkedCount
+		for _, r := range roots {
+			m.shade(r)
+		}
+		work += len(roots)
+		for r := range m.dirty {
+			if o := m.h.Get(r); o != nil && o.Marked {
+				o.RefsOf(m.shade)
+				work++
+			}
+		}
+		m.dirty = map[heap.Ref]bool{}
+		for !m.Step(64) {
+		}
+		work += m.MarkedCount - before
+		if m.MarkedCount == before {
+			break
+		}
+	}
+	m.FinalPauseWork = work
+	m.active = false
+	m.h.MarkingActive = false
+	return work
+}

@@ -1,0 +1,334 @@
+// Package heap implements the VM's object heap: class instances with
+// zero-initialized fields, arrays with zero/null-initialized elements, and
+// static fields. The garbage collector (internal/gc) traces this heap;
+// write barriers observe field and element overwrites in it.
+package heap
+
+import (
+	"fmt"
+
+	"satbelim/internal/bytecode"
+)
+
+// Ref is a heap handle. The zero Ref is null.
+type Ref int64
+
+// Null is the null reference.
+const Null Ref = 0
+
+// Value is one runtime value: an integer/boolean or a reference.
+type Value struct {
+	IsRef bool
+	I     int64
+	R     Ref
+}
+
+// IntVal wraps an integer (or boolean, 0/1).
+func IntVal(i int64) Value { return Value{I: i} }
+
+// RefVal wraps a reference.
+func RefVal(r Ref) Value { return Value{IsRef: true, R: r} }
+
+// NullVal is the null reference value.
+func NullVal() Value { return Value{IsRef: true} }
+
+// Object is one heap object: a class instance (Fields) or an array
+// (Elems). Mark state belongs to the collector.
+type Object struct {
+	Class   string // empty for arrays
+	Fields  []Value
+	Elems   []Value
+	ElemRef bool // array of references
+
+	// Marked is the collector's mark bit for the current cycle.
+	Marked bool
+	// AllocDuringMark notes allocation while marking was active; such
+	// objects are implicitly marked in SATB collections.
+	AllocDuringMark bool
+	// TraceState is the §4.3 rearrangement protocol's per-array scan
+	// state for the current cycle.
+	TraceState TraceState
+}
+
+// TraceState is the collector's per-array tracing progress, published so
+// that barrier-elided rearrangement code can detect overlap with the scan
+// (paper §4.3: "bits in the header of an object array to indicate the
+// tracing state of the array").
+type TraceState int8
+
+const (
+	// TraceUntraced: the collector has not started scanning the array.
+	TraceUntraced TraceState = iota
+	// TraceTracing: the collector is scanning the array right now.
+	TraceTracing
+	// TraceTraced: the collector finished scanning the array.
+	TraceTraced
+)
+
+// IsArray reports whether the object is an array.
+func (o *Object) IsArray() bool { return o.Elems != nil || o.Class == "" }
+
+// Layout resolves field names to slot indices per class.
+type Layout struct {
+	fieldIndex map[string]map[string]int // class -> field -> index
+	numFields  map[string]int
+	statics    []bytecode.FieldRef // declared static fields in order
+}
+
+// NewLayout computes field layouts for a program.
+func NewLayout(p *bytecode.Program) *Layout {
+	l := &Layout{fieldIndex: map[string]map[string]int{}, numFields: map[string]int{}}
+	for _, c := range p.SortedClasses() {
+		idx := map[string]int{}
+		n := 0
+		for _, f := range c.Fields {
+			if f.Static {
+				l.statics = append(l.statics, bytecode.FieldRef{Class: c.Name, Name: f.Name})
+				continue
+			}
+			idx[f.Name] = n
+			n++
+		}
+		l.fieldIndex[c.Name] = idx
+		l.numFields[c.Name] = n
+	}
+	return l
+}
+
+// FieldIndex returns the slot of an instance field.
+func (l *Layout) FieldIndex(ref bytecode.FieldRef) (int, error) {
+	idx, ok := l.fieldIndex[ref.Class]
+	if !ok {
+		return 0, fmt.Errorf("heap: unknown class %s", ref.Class)
+	}
+	i, ok := idx[ref.Name]
+	if !ok {
+		return 0, fmt.Errorf("heap: unknown field %s", ref)
+	}
+	return i, nil
+}
+
+// Statics lists the declared static reference roots.
+func (l *Layout) Statics() []bytecode.FieldRef { return l.statics }
+
+// Heap is the object store.
+type Heap struct {
+	layout  *Layout
+	objects []*Object
+	statics map[bytecode.FieldRef]Value
+
+	// Allocated counts allocations over the heap's lifetime.
+	Allocated int64
+	// MarkingActive is set by the collector while a concurrent mark is
+	// in progress; SATB alloc-black behaviour keys off it.
+	MarkingActive bool
+}
+
+// New creates an empty heap over the program's layout.
+func New(layout *Layout) *Heap {
+	return &Heap{layout: layout, statics: map[bytecode.FieldRef]Value{}}
+}
+
+// Layout exposes the field layout.
+func (h *Heap) Layout() *Layout { return h.layout }
+
+// NumObjects returns the number of objects ever allocated and not swept.
+func (h *Heap) NumObjects() int {
+	n := 0
+	for _, o := range h.objects {
+		if o != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the object for a non-null reference.
+func (h *Heap) Get(r Ref) *Object {
+	if r == Null || int(r) > len(h.objects) {
+		return nil
+	}
+	return h.objects[r-1]
+}
+
+func (h *Heap) add(o *Object) Ref {
+	h.objects = append(h.objects, o)
+	h.Allocated++
+	if h.MarkingActive {
+		o.AllocDuringMark = true
+	}
+	return Ref(len(h.objects))
+}
+
+// AllocObject allocates a class instance with null/zero fields.
+func (h *Heap) AllocObject(class string) (Ref, error) {
+	n, ok := h.layout.numFields[class]
+	if !ok {
+		return Null, fmt.Errorf("heap: unknown class %s", class)
+	}
+	fields := make([]Value, n)
+	// Reference fields must read back as null references, not zero ints;
+	// the distinction matters to barrier pre-value checks. The layout
+	// does not record types per slot, so initialize lazily: a zero Value
+	// reads as int 0 and as Null when interpreted as a reference. The VM
+	// always interprets by the declared type, so the shared zero works
+	// for both.
+	return h.add(&Object{Class: class, Fields: fields}), nil
+}
+
+// AllocArray allocates an array with zeroed/nulled elements.
+func (h *Heap) AllocArray(elemRef bool, n int64) (Ref, error) {
+	if n < 0 {
+		return Null, fmt.Errorf("heap: negative array size %d", n)
+	}
+	elems := make([]Value, n)
+	if elemRef {
+		for i := range elems {
+			elems[i].IsRef = true
+		}
+	}
+	return h.add(&Object{Elems: elems, ElemRef: elemRef}), nil
+}
+
+// GetField reads an instance field.
+func (h *Heap) GetField(r Ref, ref bytecode.FieldRef) (Value, error) {
+	o := h.Get(r)
+	if o == nil {
+		return Value{}, fmt.Errorf("heap: null dereference reading %s", ref)
+	}
+	i, err := h.layout.FieldIndex(ref)
+	if err != nil {
+		return Value{}, err
+	}
+	return o.Fields[i], nil
+}
+
+// SetField writes an instance field, returning the overwritten value (the
+// SATB barrier's pre-value).
+func (h *Heap) SetField(r Ref, ref bytecode.FieldRef, v Value) (Value, error) {
+	o := h.Get(r)
+	if o == nil {
+		return Value{}, fmt.Errorf("heap: null dereference writing %s", ref)
+	}
+	i, err := h.layout.FieldIndex(ref)
+	if err != nil {
+		return Value{}, err
+	}
+	old := o.Fields[i]
+	o.Fields[i] = v
+	return old, nil
+}
+
+// GetElem reads an array element.
+func (h *Heap) GetElem(r Ref, i int64) (Value, error) {
+	o := h.Get(r)
+	if o == nil {
+		return Value{}, fmt.Errorf("heap: null array dereference")
+	}
+	if i < 0 || i >= int64(len(o.Elems)) {
+		return Value{}, fmt.Errorf("heap: index %d out of bounds [0,%d)", i, len(o.Elems))
+	}
+	return o.Elems[i], nil
+}
+
+// SetElem writes an array element, returning the pre-value.
+func (h *Heap) SetElem(r Ref, i int64, v Value) (Value, error) {
+	o := h.Get(r)
+	if o == nil {
+		return Value{}, fmt.Errorf("heap: null array dereference")
+	}
+	if i < 0 || i >= int64(len(o.Elems)) {
+		return Value{}, fmt.Errorf("heap: index %d out of bounds [0,%d)", i, len(o.Elems))
+	}
+	old := o.Elems[i]
+	o.Elems[i] = v
+	return old, nil
+}
+
+// ArrayLen returns an array's length.
+func (h *Heap) ArrayLen(r Ref) (int64, error) {
+	o := h.Get(r)
+	if o == nil {
+		return 0, fmt.Errorf("heap: null array dereference")
+	}
+	return int64(len(o.Elems)), nil
+}
+
+// GetStatic reads a static field (zero value when never written).
+func (h *Heap) GetStatic(ref bytecode.FieldRef) Value {
+	return h.statics[ref]
+}
+
+// SetStatic writes a static field, returning the pre-value.
+func (h *Heap) SetStatic(ref bytecode.FieldRef, v Value) Value {
+	old := h.statics[ref]
+	h.statics[ref] = v
+	return old
+}
+
+// StaticRoots returns the current reference values of all statics.
+func (h *Heap) StaticRoots() []Ref {
+	var roots []Ref
+	for _, v := range h.statics {
+		if v.IsRef && v.R != Null {
+			roots = append(roots, v.R)
+		}
+	}
+	return roots
+}
+
+// RefsOf calls f with every outgoing reference of the object.
+func (o *Object) RefsOf(f func(Ref)) {
+	for _, v := range o.Fields {
+		if v.IsRef && v.R != Null {
+			f(v.R)
+		}
+	}
+	if o.ElemRef {
+		for _, v := range o.Elems {
+			if v.IsRef && v.R != Null {
+				f(v.R)
+			}
+		}
+	}
+}
+
+// ForEach visits every live object.
+func (h *Heap) ForEach(f func(Ref, *Object)) {
+	for i, o := range h.objects {
+		if o != nil {
+			f(Ref(i+1), o)
+		}
+	}
+}
+
+// Sweep frees unmarked objects (those allocated during marking survive),
+// clears mark state, and returns the number freed.
+func (h *Heap) Sweep() int {
+	freed := 0
+	for i, o := range h.objects {
+		if o == nil {
+			continue
+		}
+		if !o.Marked && !o.AllocDuringMark {
+			h.objects[i] = nil
+			freed++
+			continue
+		}
+		o.Marked = false
+		o.AllocDuringMark = false
+		o.TraceState = TraceUntraced
+	}
+	return freed
+}
+
+// ClearMarks resets mark state without sweeping.
+func (h *Heap) ClearMarks() {
+	for _, o := range h.objects {
+		if o != nil {
+			o.Marked = false
+			o.AllocDuringMark = false
+			o.TraceState = TraceUntraced
+		}
+	}
+}

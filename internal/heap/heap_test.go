@@ -1,0 +1,159 @@
+package heap
+
+import (
+	"testing"
+
+	"satbelim/internal/bytecode"
+)
+
+func testProgram() *bytecode.Program {
+	p := bytecode.NewProgram()
+	p.AddClass(&bytecode.Class{Name: "T", Fields: []*bytecode.Field{
+		{Name: "next", Type: bytecode.ClassType("T")},
+		{Name: "v", Type: bytecode.Int},
+		{Name: "head", Type: bytecode.ClassType("T"), Static: true},
+	}})
+	return p
+}
+
+func TestLayoutIndexes(t *testing.T) {
+	l := NewLayout(testProgram())
+	i, err := l.FieldIndex(bytecode.FieldRef{Class: "T", Name: "next"})
+	if err != nil || i != 0 {
+		t.Errorf("next index = %d, %v", i, err)
+	}
+	j, err := l.FieldIndex(bytecode.FieldRef{Class: "T", Name: "v"})
+	if err != nil || j != 1 {
+		t.Errorf("v index = %d, %v", j, err)
+	}
+	if _, err := l.FieldIndex(bytecode.FieldRef{Class: "T", Name: "head"}); err == nil {
+		t.Error("static field must not have an instance index")
+	}
+	if _, err := l.FieldIndex(bytecode.FieldRef{Class: "X", Name: "f"}); err == nil {
+		t.Error("unknown class must error")
+	}
+	if len(l.Statics()) != 1 {
+		t.Errorf("statics = %v", l.Statics())
+	}
+}
+
+func TestAllocAndFieldAccess(t *testing.T) {
+	h := New(NewLayout(testProgram()))
+	r, err := h.AllocObject("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == Null {
+		t.Fatal("allocation returned null")
+	}
+	fr := bytecode.FieldRef{Class: "T", Name: "next"}
+	old, err := h.SetField(r, fr, RefVal(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.R != Null {
+		t.Error("fresh field should have null pre-value")
+	}
+	got, err := h.GetField(r, fr)
+	if err != nil || got.R != r {
+		t.Errorf("GetField = %v, %v", got, err)
+	}
+	old2, _ := h.SetField(r, fr, NullVal())
+	if old2.R != r {
+		t.Error("second store should see the first value as pre-value")
+	}
+}
+
+func TestArrays(t *testing.T) {
+	h := New(NewLayout(testProgram()))
+	a, err := h.AllocArray(true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := h.ArrayLen(a)
+	if n != 3 {
+		t.Errorf("len = %d", n)
+	}
+	if _, err := h.GetElem(a, 3); err == nil {
+		t.Error("out-of-bounds read must error")
+	}
+	if _, err := h.SetElem(a, -1, NullVal()); err == nil {
+		t.Error("negative index must error")
+	}
+	v, _ := h.GetElem(a, 0)
+	if !v.IsRef || v.R != Null {
+		t.Errorf("fresh ref-array element should be null ref, got %v", v)
+	}
+	if _, err := h.AllocArray(true, -1); err == nil {
+		t.Error("negative size must error")
+	}
+}
+
+func TestStatics(t *testing.T) {
+	h := New(NewLayout(testProgram()))
+	fr := bytecode.FieldRef{Class: "T", Name: "head"}
+	if got := h.GetStatic(fr); got.R != Null {
+		t.Error("unset static should read as zero")
+	}
+	r, _ := h.AllocObject("T")
+	old := h.SetStatic(fr, RefVal(r))
+	if old.R != Null {
+		t.Error("first static store pre-value should be null")
+	}
+	roots := h.StaticRoots()
+	if len(roots) != 1 || roots[0] != r {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	h := New(NewLayout(testProgram()))
+	a, _ := h.AllocObject("T")
+	b, _ := h.AllocObject("T")
+	h.Get(a).Marked = true
+	freed := h.Sweep()
+	if freed != 1 {
+		t.Errorf("freed = %d, want 1", freed)
+	}
+	if h.Get(a) == nil {
+		t.Error("marked object must survive")
+	}
+	if h.Get(b) != nil {
+		t.Error("unmarked object must be freed")
+	}
+	if h.Get(a).Marked {
+		t.Error("sweep must clear marks")
+	}
+}
+
+func TestAllocDuringMarkSurvivesSweep(t *testing.T) {
+	h := New(NewLayout(testProgram()))
+	h.MarkingActive = true
+	r, _ := h.AllocObject("T")
+	h.MarkingActive = false
+	if !h.Get(r).AllocDuringMark {
+		t.Fatal("alloc-during-mark flag not set")
+	}
+	if h.Sweep() != 0 {
+		t.Error("object allocated during marking must survive the sweep")
+	}
+}
+
+func TestRefsOf(t *testing.T) {
+	h := New(NewLayout(testProgram()))
+	a, _ := h.AllocObject("T")
+	b, _ := h.AllocObject("T")
+	h.SetField(a, bytecode.FieldRef{Class: "T", Name: "next"}, RefVal(b))
+	arr, _ := h.AllocArray(true, 2)
+	h.SetElem(arr, 1, RefVal(a))
+	var got []Ref
+	h.Get(a).RefsOf(func(r Ref) { got = append(got, r) })
+	if len(got) != 1 || got[0] != b {
+		t.Errorf("object refs = %v", got)
+	}
+	got = nil
+	h.Get(arr).RefsOf(func(r Ref) { got = append(got, r) })
+	if len(got) != 1 || got[0] != a {
+		t.Errorf("array refs = %v", got)
+	}
+}

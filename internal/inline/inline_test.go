@@ -1,0 +1,303 @@
+package inline
+
+import (
+	"testing"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/codegen"
+	"satbelim/internal/minijava"
+	"satbelim/internal/verifier"
+)
+
+func compileSrc(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	ast, err := minijava.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ch, err := minijava.Check("t.mj", ast)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p, err := codegen.Compile(ch)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func countOp(m *bytecode.Method, op bytecode.Op) int {
+	n := 0
+	for pc := range m.Code {
+		if m.Code[pc].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+const ctorSrc = `
+class P { int x; P(int x0) { x = x0; } int get() { return x; } }
+class T { static void main() { P p = new P(3); print(p.get()); } }
+`
+
+func TestInlineZeroLimitIsIdentityShape(t *testing.T) {
+	p := compileSrc(t, ctorSrc)
+	res := Apply(p, Options{Limit: 0})
+	if res.Expanded != 0 {
+		t.Errorf("Expanded = %d, want 0", res.Expanded)
+	}
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if countOp(m, bytecode.OpInvoke) != 2 {
+		t.Errorf("invokes = %d, want 2", countOp(m, bytecode.OpInvoke))
+	}
+	if res.Remaining != 2 {
+		t.Errorf("Remaining = %d, want 2", res.Remaining)
+	}
+}
+
+func TestInlineDoesNotMutateInput(t *testing.T) {
+	p := compileSrc(t, ctorSrc)
+	before := p.Method(bytecode.MethodRef{Class: "T", Name: "main"}).Size()
+	Apply(p, Options{Limit: 100})
+	after := p.Method(bytecode.MethodRef{Class: "T", Name: "main"}).Size()
+	if before != after {
+		t.Errorf("input program mutated: size %d -> %d", before, after)
+	}
+}
+
+func TestInlineCtorAndGetter(t *testing.T) {
+	p := compileSrc(t, ctorSrc)
+	res := Apply(p, Options{Limit: 100})
+	if res.Expanded != 2 {
+		t.Errorf("Expanded = %d, want 2", res.Expanded)
+	}
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if got := countOp(m, bytecode.OpInvoke); got != 0 {
+		t.Errorf("invokes after inlining = %d, want 0:\n%s", got, bytecode.Disassemble(m))
+	}
+	// The inlined body must still be verifiable and valid.
+	if err := res.Program.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Constructor's putfield must now appear inside main.
+	if countOp(m, bytecode.OpPutField) != 1 {
+		t.Errorf("putfield not inlined into main:\n%s", bytecode.Disassemble(m))
+	}
+}
+
+func TestInlineRespectsLimit(t *testing.T) {
+	// get is tiny; a method with a long body stays out at small limits.
+	src := `
+class P {
+    int x;
+    int get() { return x; }
+    int big(int a) {
+        int s = 0;
+        s = s + a * 3; s = s + a * 5; s = s + a * 7; s = s + a * 11;
+        s = s + a * 13; s = s + a * 17; s = s + a * 19; s = s + a * 23;
+        return s;
+    }
+}
+class T { static void main() { P p = new P(); print(p.get() + p.big(2)); } }
+`
+	p := compileSrc(t, src)
+	big := p.Method(bytecode.MethodRef{Class: "P", Name: "big"})
+	small := p.Method(bytecode.MethodRef{Class: "P", Name: "get"})
+	limit := small.Size() + 1
+	if big.Size() <= limit {
+		t.Fatalf("test premise broken: big=%d small=%d", big.Size(), small.Size())
+	}
+	res := Apply(p, Options{Limit: limit})
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if got := countOp(m, bytecode.OpInvoke); got != 1 {
+		t.Errorf("invokes = %d, want 1 (big only):\n%s", got, bytecode.Disassemble(m))
+	}
+	for pc := range m.Code {
+		if m.Code[pc].Op == bytecode.OpInvoke && m.Code[pc].Method.Name != "big" {
+			t.Errorf("wrong call left behind: %s", m.Code[pc].Method)
+		}
+	}
+}
+
+func TestInlineTransitiveChain(t *testing.T) {
+	src := `
+class C {
+    static int a() { return b() + 1; }
+    static int b() { return c() + 1; }
+    static int c() { return 40; }
+}
+class T { static void main() { print(C.a()); } }
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 200})
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if got := countOp(m, bytecode.OpInvoke); got != 0 {
+		t.Errorf("chain not fully inlined, %d invokes left:\n%s", got, bytecode.Disassemble(m))
+	}
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestInlineDirectRecursionNotExpanded(t *testing.T) {
+	src := `
+class C { static int fact(int n) { if (n <= 1) return 1; return n * C.fact(n - 1); } }
+class T { static void main() { print(C.fact(5)); } }
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 1000})
+	fact := res.Program.Method(bytecode.MethodRef{Class: "C", Name: "fact"})
+	if got := countOp(fact, bytecode.OpInvoke); got != 1 {
+		t.Errorf("fact should keep its recursive call, invokes = %d", got)
+	}
+	// main may inline fact's body once; the recursive call inside stays.
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestInlineMutualRecursionTerminates(t *testing.T) {
+	src := `
+class C {
+    static int even(int n) { if (n == 0) return 1; return C.odd(n - 1); }
+    static int odd(int n) { if (n == 0) return 0; return C.even(n - 1); }
+}
+class T { static void main() { print(C.even(10)); } }
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 1000})
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Neither even nor odd may have absorbed the other into a cycle:
+	// each keeps at least one invoke.
+	even := res.Program.Method(bytecode.MethodRef{Class: "C", Name: "even"})
+	odd := res.Program.Method(bytecode.MethodRef{Class: "C", Name: "odd"})
+	if countOp(even, bytecode.OpInvoke) == 0 && countOp(odd, bytecode.OpInvoke) == 0 {
+		t.Error("mutual recursion cannot be fully inlined away")
+	}
+}
+
+func TestInlineBranchTargetsRemapped(t *testing.T) {
+	src := `
+class C { static int abs(int x) { if (x < 0) return -x; return x; } }
+class T {
+    static void main() {
+        int i = 0;
+        while (i < 3) {
+            print(C.abs(i - 1));
+            i = i + 1;
+        }
+    }
+}
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 100})
+	if err := res.Program.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if countOp(m, bytecode.OpInvoke) != 0 {
+		t.Errorf("abs not inlined:\n%s", bytecode.Disassemble(m))
+	}
+}
+
+func TestInlineCallerCap(t *testing.T) {
+	src := `
+class C { static int f() { return 1; } }
+class T { static void main() { print(C.f() + C.f() + C.f()); } }
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 100, CallerCap: p.Method(bytecode.MethodRef{Class: "T", Name: "main"}).Size() + 3})
+	// Cap allows at most one expansion (f is ~4 bytes); at least one call
+	// must remain.
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if countOp(m, bytecode.OpInvoke) == 0 {
+		t.Error("caller cap should have stopped full expansion")
+	}
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestInlineSlotRemapPreservesSemantics(t *testing.T) {
+	// Callee uses several locals; ensure remapped slots don't collide
+	// with caller slots (verified stack discipline plus valid slots).
+	src := `
+class C {
+    static int mix(int a, int b) {
+        int t1 = a * 2;
+        int t2 = b * 3;
+        int t3 = t1 + t2;
+        return t3;
+    }
+}
+class T { static void main() { int x = 5; int y = 7; print(C.mix(x, y)); print(x + y); } }
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 100})
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if countOp(m, bytecode.OpInvoke) != 0 {
+		t.Fatalf("mix not inlined:\n%s", bytecode.Disassemble(m))
+	}
+	if err := res.Program.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.NumSlots < 7 {
+		t.Errorf("expected extra slots for callee locals, NumSlots = %d", m.NumSlots)
+	}
+}
+
+func TestInlineMultipleReturnPaths(t *testing.T) {
+	src := `
+class C { static int sign(int x) { if (x < 0) return -1; if (x > 0) return 1; return 0; } }
+class T { static void main() { print(C.sign(-5) + C.sign(5) + C.sign(0)); } }
+`
+	p := compileSrc(t, src)
+	res := Apply(p, Options{Limit: 100})
+	if err := verifier.VerifyProgram(res.Program); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	m := res.Program.Method(bytecode.MethodRef{Class: "T", Name: "main"})
+	if countOp(m, bytecode.OpInvoke) != 0 {
+		t.Errorf("sign not inlined at all 3 sites")
+	}
+}
+
+func TestProcessingOrderBottomUp(t *testing.T) {
+	src := `
+class C {
+    static int leaf() { return 1; }
+    static int mid() { return C.leaf() + 1; }
+    static int top() { return C.mid() + 1; }
+}
+class T { static void main() { print(C.top()); } }
+`
+	p := compileSrc(t, src)
+	methods := p.Methods()
+	index := map[bytecode.MethodRef]int{}
+	for i, m := range methods {
+		index[m.Ref()] = i
+	}
+	order := processingOrder(methods, index)
+	pos := map[string]int{}
+	for i, mi := range order {
+		pos[methods[mi].QualifiedName()] = i
+	}
+	if !(pos["C.leaf"] < pos["C.mid"] && pos["C.mid"] < pos["C.top"] && pos["C.top"] < pos["T.main"]) {
+		t.Errorf("order not bottom-up: %v", pos)
+	}
+	if len(order) != len(methods) {
+		t.Errorf("order misses methods: %d vs %d", len(order), len(methods))
+	}
+}

@@ -1,0 +1,378 @@
+// Package intval implements the symbolic integer domain of the paper's
+// array analysis (§3.2): IntVals are linear combinations
+//
+//	a·v + k₀·c₀ + … + kₙ·cₙ + b
+//
+// with at most one term in a *variable unknown* v (a value that may differ
+// between states, typically a loop induction value), any number of terms
+// in *constant unknowns* cᵢ (values fixed across all states, such as an
+// argument array's length), and an integer constant b. The lattice top ⊤
+// represents "unknown integer".
+//
+// The companion Merge function implements the paper's Figure 1
+// merge_intvals procedure: when two states join with components that
+// differ by a common constant stride, a shared variable unknown is
+// invented so that relationships between components (e.g. a loop index and
+// the low bound of an array's uninitialized range) survive the merge.
+package intval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VarU names a variable unknown.
+type VarU int32
+
+// ConstU names a constant unknown.
+type ConstU int32
+
+// Term is one kᵢ·cᵢ product.
+type Term struct {
+	C ConstU
+	K int64
+}
+
+// IntVal is a symbolic integer value. The zero IntVal is the constant 0.
+// IntVals are immutable; operations return new values.
+type IntVal struct {
+	top bool
+	a   int64  // variable-unknown coefficient
+	v   VarU   // valid when a != 0
+	ts  []Term // constant-unknown terms, sorted by C, all K != 0
+	b   int64
+}
+
+// Top is the unknown-integer lattice top.
+var Top = IntVal{top: true}
+
+// Const returns the constant value b.
+func Const(b int64) IntVal { return IntVal{b: b} }
+
+// OfVar returns the value 1·v.
+func OfVar(v VarU) IntVal { return IntVal{a: 1, v: v} }
+
+// OfConstU returns the value 1·c.
+func OfConstU(c ConstU) IntVal { return IntVal{ts: []Term{{C: c, K: 1}}} }
+
+// IsTop reports whether i is ⊤.
+func (i IntVal) IsTop() bool { return i.top }
+
+// AsConst returns the literal value when i is a pure integer constant.
+func (i IntVal) AsConst() (int64, bool) {
+	if i.top || i.a != 0 || len(i.ts) != 0 {
+		return 0, false
+	}
+	return i.b, true
+}
+
+// VarTerm returns the variable-unknown coefficient and name (a == 0 means
+// no variable term).
+func (i IntVal) VarTerm() (a int64, v VarU) { return i.a, i.v }
+
+// HasVar reports whether i has a variable-unknown term.
+func (i IntVal) HasVar() bool { return !i.top && i.a != 0 }
+
+// Equal reports structural equality (the only equality that matters in
+// this normalized representation).
+func (i IntVal) Equal(j IntVal) bool {
+	if i.top || j.top {
+		return i.top == j.top
+	}
+	if i.a != j.a || (i.a != 0 && i.v != j.v) || i.b != j.b || len(i.ts) != len(j.ts) {
+		return false
+	}
+	for k := range i.ts {
+		if i.ts[k] != j.ts[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// addTerms merges two sorted term lists.
+func addTerms(x, y []Term, ysign int64) []Term {
+	out := make([]Term, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) || j < len(y) {
+		switch {
+		case j >= len(y) || (i < len(x) && x[i].C < y[j].C):
+			out = append(out, x[i])
+			i++
+		case i >= len(x) || y[j].C < x[i].C:
+			out = append(out, Term{C: y[j].C, K: ysign * y[j].K})
+			j++
+		default:
+			k := x[i].K + ysign*y[j].K
+			if k != 0 {
+				out = append(out, Term{C: x[i].C, K: k})
+			}
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Add returns i + j, or ⊤ when the sum would need two variable unknowns.
+func (i IntVal) Add(j IntVal) IntVal {
+	if i.top || j.top {
+		return Top
+	}
+	r := IntVal{b: i.b + j.b, ts: addTerms(i.ts, j.ts, 1)}
+	switch {
+	case i.a == 0:
+		r.a, r.v = j.a, j.v
+	case j.a == 0:
+		r.a, r.v = i.a, i.v
+	case i.v == j.v:
+		r.a = i.a + j.a
+		if r.a != 0 {
+			r.v = i.v
+		}
+	default:
+		return Top
+	}
+	return r
+}
+
+// Neg returns -i.
+func (i IntVal) Neg() IntVal {
+	if i.top {
+		return Top
+	}
+	r := IntVal{a: -i.a, v: i.v, b: -i.b}
+	if len(i.ts) > 0 {
+		r.ts = make([]Term, len(i.ts))
+		for k, t := range i.ts {
+			r.ts[k] = Term{C: t.C, K: -t.K}
+		}
+	}
+	return r
+}
+
+// Sub returns i - j.
+func (i IntVal) Sub(j IntVal) IntVal { return i.Add(j.Neg()) }
+
+// MulK returns k·i.
+func (i IntVal) MulK(k int64) IntVal {
+	if i.top {
+		return Top
+	}
+	if k == 0 {
+		return IntVal{}
+	}
+	r := IntVal{a: i.a * k, v: i.v, b: i.b * k}
+	if len(i.ts) > 0 {
+		r.ts = make([]Term, len(i.ts))
+		for n, t := range i.ts {
+			r.ts[n] = Term{C: t.C, K: t.K * k}
+		}
+	}
+	return r
+}
+
+// Mul returns i·j when one side is a literal constant, ⊤ otherwise
+// (products of unknowns leave the linear domain).
+func (i IntVal) Mul(j IntVal) IntVal {
+	if k, ok := j.AsConst(); ok {
+		return i.MulK(k)
+	}
+	if k, ok := i.AsConst(); ok {
+		return j.MulK(k)
+	}
+	return Top
+}
+
+// DivExact returns i/k when every coefficient is exactly divisible.
+func (i IntVal) DivExact(k int64) (IntVal, bool) {
+	if i.top || k == 0 {
+		return Top, false
+	}
+	if i.a%k != 0 || i.b%k != 0 {
+		return Top, false
+	}
+	r := IntVal{a: i.a / k, v: i.v, b: i.b / k}
+	if len(i.ts) > 0 {
+		r.ts = make([]Term, len(i.ts))
+		for n, t := range i.ts {
+			if t.K%k != 0 {
+				return Top, false
+			}
+			r.ts[n] = Term{C: t.C, K: t.K / k}
+		}
+	}
+	return r, true
+}
+
+// SubstVar returns i with its variable term a·v replaced by a·s. The
+// result is i itself when i has no variable term or a different variable.
+func (i IntVal) SubstVar(v VarU, s IntVal) IntVal {
+	if i.top || i.a == 0 || i.v != v {
+		return i
+	}
+	base := IntVal{ts: i.ts, b: i.b}
+	return base.Add(s.MulK(i.a))
+}
+
+// String renders the value for diagnostics, e.g. "2*v3 + c0 - 1".
+func (i IntVal) String() string {
+	if i.top {
+		return "⊤"
+	}
+	var parts []string
+	if i.a != 0 {
+		switch i.a {
+		case 1:
+			parts = append(parts, fmt.Sprintf("v%d", i.v))
+		case -1:
+			parts = append(parts, fmt.Sprintf("-v%d", i.v))
+		default:
+			parts = append(parts, fmt.Sprintf("%d*v%d", i.a, i.v))
+		}
+	}
+	for _, t := range i.ts {
+		switch t.K {
+		case 1:
+			parts = append(parts, fmt.Sprintf("c%d", t.C))
+		case -1:
+			parts = append(parts, fmt.Sprintf("-c%d", t.C))
+		default:
+			parts = append(parts, fmt.Sprintf("%d*c%d", t.K, t.C))
+		}
+	}
+	if i.b != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", i.b))
+	}
+	s := strings.Join(parts, " + ")
+	return strings.ReplaceAll(s, "+ -", "- ")
+}
+
+// Namer generates fresh unknowns. The zero value is ready to use.
+type Namer struct {
+	nextVar   VarU
+	nextConst ConstU
+}
+
+// FreshVar returns a new variable unknown.
+func (n *Namer) FreshVar() VarU {
+	v := n.nextVar
+	n.nextVar++
+	return v
+}
+
+// FreshConst returns a new constant unknown.
+func (n *Namer) FreshConst() ConstU {
+	c := n.nextConst
+	n.nextConst++
+	return c
+}
+
+// MergeCtx carries the shared stride/substitution maps of one state merge
+// (paper Figure 1): U maps constant strides to the variable unknowns
+// invented for them, and Mu1/Mu2 record what each variable stands for in
+// the two merged states. All integer components of a single state merge
+// must share one MergeCtx — that sharing is what lets the analysis
+// discover that, e.g., a loop index and an uninitialized-range bound vary
+// together.
+type MergeCtx struct {
+	N        *Namer
+	U        map[int64]VarU
+	Mu1, Mu2 map[VarU]IntVal
+	// Disabled turns off variable-unknown invention (the NoStride
+	// ablation): differing components merge straight to ⊤.
+	Disabled bool
+}
+
+// NewMergeCtx returns an empty context drawing fresh names from n.
+func NewMergeCtx(n *Namer) *MergeCtx {
+	return &MergeCtx{N: n, U: map[int64]VarU{}, Mu1: map[VarU]IntVal{}, Mu2: map[VarU]IntVal{}}
+}
+
+// Merge merges one integer state component, following Figure 1 of the
+// paper. i1 comes from the first state (Mu1 side), i2 from the second.
+func Merge(i1, i2 IntVal, ctx *MergeCtx) IntVal {
+	if i1.top || i2.top {
+		return Top
+	}
+	if i1.Equal(i2) {
+		return i1
+	}
+	if ctx == nil || ctx.Disabled {
+		return Top
+	}
+	mu1, mu2 := ctx.Mu1, ctx.Mu2
+	if !i1.HasVar() {
+		i1, i2 = i2, i1
+		mu1, mu2 = mu2, mu1
+	}
+	delta := i2.Sub(i1)
+	if d, isConst := delta.AsConst(); isConst && !i1.HasVar() {
+		// Neither side has a variable term and they differ by the
+		// constant stride d: reuse or invent the stride's variable.
+		if v, ok := ctx.U[d]; ok {
+			off := i1.Sub(mu1[v])
+			if off.HasVar() {
+				return Top
+			}
+			return OfVar(v).Add(off)
+		}
+		v := ctx.N.FreshVar()
+		ctx.U[d] = v
+		mu1[v] = i1
+		mu2[v] = i2
+		return OfVar(v)
+	}
+	if i1.HasVar() {
+		_, v1 := i1.VarTerm()
+		if s, ok := mu2[v1]; ok {
+			if i1.SubstVar(v1, s).Equal(i2) {
+				return i1
+			}
+			return Top
+		}
+		if s, ok := match(i1, i2); ok {
+			mu2[v1] = s
+			return i1
+		}
+		return Top
+	}
+	return Top
+}
+
+// match is called when i1 has a variable term a₁·v₁; it succeeds when i2
+// has either a variable term a₁·v₂ with the same coefficient — returning
+// an IntVal expressing v₁ as v₂ plus a constant expression — or no
+// variable term at all, in which case v₁ is bound to the constant
+// expression (i2 - rest(i1))/a₁. The latter generalizes the paper's match
+// and is what lets an in-progress loop state (index = v) merge with a
+// fresh outer-iteration state (index = 0) without collapsing to ⊤: the
+// substitution v ↦ 0 records what v stands for in the incoming state, and
+// the fixed-point validation pass checks it like any other assumption.
+func match(i1, i2 IntVal) (IntVal, bool) {
+	a1, _ := i1.VarTerm()
+	a2, v2 := i2.VarTerm()
+	if a1 == 0 {
+		return Top, false
+	}
+	r1 := IntVal{ts: i1.ts, b: i1.b}
+	if a2 == 0 {
+		d, ok := i2.Sub(r1).DivExact(a1)
+		if !ok {
+			return Top, false
+		}
+		return d, true
+	}
+	if a2 != a1 {
+		return Top, false
+	}
+	r2 := IntVal{ts: i2.ts, b: i2.b}
+	d, ok := r2.Sub(r1).DivExact(a1)
+	if !ok {
+		return Top, false
+	}
+	return OfVar(v2).Add(d), true
+}

@@ -1,0 +1,181 @@
+package intval
+
+import "fmt"
+
+// RangeKind classifies a Range.
+type RangeKind int
+
+const (
+	// RangeEmpty is the lattice top: no indices known null.
+	RangeEmpty RangeKind = iota
+	// RangeFull is a closed interval [Lo..Hi]. It is created only at
+	// array allocation, where Hi is exactly length-1 (paper §3.2), an
+	// invariant Contract and Merge preserve by never producing new Full
+	// ranges.
+	RangeFull
+	// RangeLow is the half-open range [Lo..]: all indices ≥ Lo.
+	RangeLow
+	// RangeHigh is the half-open range [..Hi]: all indices ≤ Hi.
+	RangeHigh
+)
+
+// Range is a subrange of an array's valid indices known to contain null —
+// the NR map's range type (paper §3.2).
+type Range struct {
+	Kind   RangeKind
+	Lo, Hi IntVal
+}
+
+// Empty returns the no-information range.
+func Empty() Range { return Range{Kind: RangeEmpty} }
+
+// Full returns [lo..hi]. Callers must only use it at allocation with
+// hi = length-1.
+func Full(lo, hi IntVal) Range {
+	if lo.IsTop() || hi.IsTop() {
+		return Empty()
+	}
+	return Range{Kind: RangeFull, Lo: lo, Hi: hi}
+}
+
+// Low returns [lo..].
+func Low(lo IntVal) Range {
+	if lo.IsTop() {
+		return Empty()
+	}
+	return Range{Kind: RangeLow, Lo: lo}
+}
+
+// High returns [..hi].
+func High(hi IntVal) Range {
+	if hi.IsTop() {
+		return Empty()
+	}
+	return Range{Kind: RangeHigh, Hi: hi}
+}
+
+// IsEmpty reports whether no indices are known null.
+func (r Range) IsEmpty() bool { return r.Kind == RangeEmpty }
+
+// Equal reports structural equality.
+func (r Range) Equal(s Range) bool {
+	if r.Kind != s.Kind {
+		return false
+	}
+	switch r.Kind {
+	case RangeEmpty:
+		return true
+	case RangeFull:
+		return r.Lo.Equal(s.Lo) && r.Hi.Equal(s.Hi)
+	case RangeLow:
+		return r.Lo.Equal(s.Lo)
+	default:
+		return r.Hi.Equal(s.Hi)
+	}
+}
+
+// Covers reports whether a store at index ind is provably inside the null
+// range. Because Contract only ever advances a bound past an end store,
+// the provable cases are exactly stores at the ends — which keeps the
+// overflow argument of §3.6 intact (out-of-order indices immediately
+// collapse the range).
+func (r Range) Covers(ind IntVal) bool {
+	if ind.IsTop() {
+		return false
+	}
+	switch r.Kind {
+	case RangeFull:
+		return ind.Equal(r.Lo) || ind.Equal(r.Hi)
+	case RangeLow:
+		return ind.Equal(r.Lo)
+	case RangeHigh:
+		return ind.Equal(r.Hi)
+	default:
+		return false
+	}
+}
+
+// Contract shrinks the range after a store at index ind (paper §3.3): a
+// store at the low end advances the low bound, a store at the high end
+// retreats the high bound, and any store the analysis cannot place at an
+// end collapses the range to Empty.
+func (r Range) Contract(ind IntVal) Range {
+	if r.Kind == RangeEmpty {
+		return r
+	}
+	if ind.IsTop() {
+		return Empty()
+	}
+	one := Const(1)
+	switch r.Kind {
+	case RangeFull:
+		switch {
+		case ind.Equal(r.Lo):
+			// Hi is length-1, so [Lo+1..Hi] is the half-open tail.
+			return Low(r.Lo.Add(one))
+		case ind.Equal(r.Hi):
+			return High(r.Hi.Sub(one))
+		default:
+			return Empty()
+		}
+	case RangeLow:
+		if ind.Equal(r.Lo) {
+			return Low(r.Lo.Add(one))
+		}
+		return Empty()
+	default: // RangeHigh
+		if ind.Equal(r.Hi) {
+			return High(r.Hi.Sub(one))
+		}
+		return Empty()
+	}
+}
+
+// MergeRanges joins the null ranges of two states, merging bound IntVals
+// through the shared stride context. An index is known null after the
+// merge only if both states guarantee it, so mismatched shapes or
+// unmergeable bounds collapse to Empty. Full merges with a half-open range
+// to the half-open shape (sound because a Full range always reaches its
+// array's end, §3.5).
+func MergeRanges(r1, r2 Range, ctx *MergeCtx) Range {
+	if r1.Kind == RangeEmpty || r2.Kind == RangeEmpty {
+		return Empty()
+	}
+	mergeLo := func(a, b IntVal) Range { return Low(Merge(a, b, ctx)) }
+	mergeHi := func(a, b IntVal) Range { return High(Merge(a, b, ctx)) }
+	switch {
+	case r1.Kind == RangeFull && r2.Kind == RangeFull:
+		lo := Merge(r1.Lo, r2.Lo, ctx)
+		hi := Merge(r1.Hi, r2.Hi, ctx)
+		return Full(lo, hi)
+	case r1.Kind == RangeFull && r2.Kind == RangeLow:
+		return mergeLo(r1.Lo, r2.Lo)
+	case r1.Kind == RangeLow && r2.Kind == RangeFull:
+		return mergeLo(r1.Lo, r2.Lo)
+	case r1.Kind == RangeLow && r2.Kind == RangeLow:
+		return mergeLo(r1.Lo, r2.Lo)
+	case r1.Kind == RangeFull && r2.Kind == RangeHigh:
+		return mergeHi(r1.Hi, r2.Hi)
+	case r1.Kind == RangeHigh && r2.Kind == RangeFull:
+		return mergeHi(r1.Hi, r2.Hi)
+	case r1.Kind == RangeHigh && r2.Kind == RangeHigh:
+		return mergeHi(r1.Hi, r2.Hi)
+	default:
+		// Low vs High: incompatible directions.
+		return Empty()
+	}
+}
+
+// String renders the range for diagnostics.
+func (r Range) String() string {
+	switch r.Kind {
+	case RangeEmpty:
+		return "[]"
+	case RangeFull:
+		return fmt.Sprintf("[%s..%s]", r.Lo, r.Hi)
+	case RangeLow:
+		return fmt.Sprintf("[%s..]", r.Lo)
+	default:
+		return fmt.Sprintf("[..%s]", r.Hi)
+	}
+}

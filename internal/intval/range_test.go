@@ -1,0 +1,235 @@
+package intval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeConstructorsNormalizeTop(t *testing.T) {
+	if !Full(Top, Const(3)).IsEmpty() || !Full(Const(0), Top).IsEmpty() {
+		t.Error("Full with top bound must be Empty")
+	}
+	if !Low(Top).IsEmpty() || !High(Top).IsEmpty() {
+		t.Error("half-open with top bound must be Empty")
+	}
+}
+
+func TestContractAtLowEnd(t *testing.T) {
+	var n Namer
+	c := OfConstU(n.FreshConst())
+	r := Full(Const(0), c.MulK(2).Sub(Const(1))) // [0..2c-1], the expand example
+	r1 := r.Contract(Const(0))
+	if r1.Kind != RangeLow || !r1.Lo.Equal(Const(1)) {
+		t.Errorf("contract at 0 = %s, want [1..]", r1)
+	}
+	r2 := r1.Contract(Const(1))
+	if r2.Kind != RangeLow || !r2.Lo.Equal(Const(2)) {
+		t.Errorf("second contract = %s, want [2..]", r2)
+	}
+}
+
+func TestContractAtHighEnd(t *testing.T) {
+	r := Full(Const(0), Const(9))
+	r1 := r.Contract(Const(9))
+	if r1.Kind != RangeHigh || !r1.Hi.Equal(Const(8)) {
+		t.Errorf("contract at hi = %s, want [..8]", r1)
+	}
+	r2 := r1.Contract(Const(8))
+	if r2.Kind != RangeHigh || !r2.Hi.Equal(Const(7)) {
+		t.Errorf("downward contract = %s, want [..7]", r2)
+	}
+}
+
+func TestContractOutOfOrderCollapses(t *testing.T) {
+	r := Full(Const(0), Const(9))
+	if got := r.Contract(Const(5)); !got.IsEmpty() {
+		t.Errorf("middle store should collapse, got %s", got)
+	}
+	low := Low(Const(3))
+	if got := low.Contract(Const(7)); !got.IsEmpty() {
+		t.Errorf("skipping ahead should collapse, got %s", got)
+	}
+	if got := low.Contract(Top); !got.IsEmpty() {
+		t.Errorf("unknown index should collapse, got %s", got)
+	}
+	if got := Empty().Contract(Const(0)); !got.IsEmpty() {
+		t.Error("empty stays empty")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	var n Namer
+	v := OfVar(n.FreshVar())
+	cases := []struct {
+		r    Range
+		ind  IntVal
+		want bool
+	}{
+		{Full(Const(0), Const(9)), Const(0), true},
+		{Full(Const(0), Const(9)), Const(9), true},
+		{Full(Const(0), Const(9)), Const(5), false},
+		{Low(v), v, true},
+		{Low(v), v.Add(Const(1)), false},
+		{High(v), v, true},
+		{High(v), Const(0), false},
+		{Empty(), Const(0), false},
+		{Low(Const(0)), Top, false},
+	}
+	for i, c := range cases {
+		if got := c.r.Covers(c.ind); got != c.want {
+			t.Errorf("case %d: %s covers %s = %v, want %v", i, c.r, c.ind, got, c.want)
+		}
+	}
+}
+
+func TestMergeRangesPaperWalkthrough(t *testing.T) {
+	// §3.5: loop-head merge of the expand example. State 1 (first visit):
+	// i=0, NR=[0..2c0-1]. State 2 (after one iteration): i=1, NR=[1..].
+	var n Namer
+	c0 := OfConstU(n.FreshConst())
+	full := Full(Const(0), c0.MulK(2).Sub(Const(1)))
+	tail := Low(Const(1))
+
+	ctx := NewMergeCtx(&n)
+	mi := Merge(Const(0), Const(1), ctx) // ρ(i) components
+	if !mi.HasVar() {
+		t.Fatalf("index merge = %s", mi)
+	}
+	mr := MergeRanges(full, tail, ctx)
+	if mr.Kind != RangeLow {
+		t.Fatalf("range merge = %s, want half-open low", mr)
+	}
+	if !mr.Lo.Equal(mi) {
+		t.Errorf("low bound %s should equal the merged index %s", mr.Lo, mi)
+	}
+
+	// Validation iteration: i = v vs v+1; NR = [v..] vs [v+1..].
+	ctx2 := NewMergeCtx(&n)
+	mi2 := Merge(mi, mi.Add(Const(1)), ctx2)
+	if !mi2.Equal(mi) {
+		t.Fatalf("validation index merge = %s, want %s", mi2, mi)
+	}
+	mr2 := MergeRanges(Low(mi), Low(mi.Add(Const(1))), ctx2)
+	if mr2.Kind != RangeLow || !mr2.Lo.Equal(mi) {
+		t.Errorf("validation range merge = %s, want [%s..]", mr2, mi)
+	}
+}
+
+func TestMergeRangesShapes(t *testing.T) {
+	var n Namer
+	ctx := NewMergeCtx(&n)
+	if got := MergeRanges(Empty(), Low(Const(0)), ctx); !got.IsEmpty() {
+		t.Error("empty absorbs")
+	}
+	if got := MergeRanges(Low(Const(0)), High(Const(3)), ctx); !got.IsEmpty() {
+		t.Error("low/high mix collapses")
+	}
+	got := MergeRanges(High(Const(5)), High(Const(5)), ctx)
+	if got.Kind != RangeHigh || !got.Hi.Equal(Const(5)) {
+		t.Errorf("high/high = %s", got)
+	}
+	f := MergeRanges(Full(Const(0), Const(7)), Full(Const(0), Const(7)), ctx)
+	if f.Kind != RangeFull {
+		t.Errorf("full/full equal = %s", f)
+	}
+}
+
+func TestMergeRangesFullWithHigh(t *testing.T) {
+	var n Namer
+	ctx := NewMergeCtx(&n)
+	got := MergeRanges(Full(Const(0), Const(9)), High(Const(8)), ctx)
+	if got.Kind != RangeHigh {
+		t.Fatalf("full/high = %s", got)
+	}
+	if !got.Hi.HasVar() {
+		t.Errorf("bounds 9 and 8 should merge to a stride variable, got %s", got.Hi)
+	}
+}
+
+func TestQuickContractMonotone(t *testing.T) {
+	// Contract never grows the set of provably-covered constant indices:
+	// any index covered after contraction was covered before or is
+	// adjacent to one that was (and the contracted index is never
+	// covered afterwards).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo := int64(r.Intn(5))
+		hi := lo + int64(r.Intn(10))
+		rng := Full(Const(lo), Const(hi))
+		ind := Const(lo + int64(r.Intn(int(hi-lo+2))) - 1)
+		after := rng.Contract(ind)
+		return !after.Covers(ind)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeRangesCommutativeShape(t *testing.T) {
+	// Merging in either order yields the same shape (bounds may use
+	// fresh variables, so compare kinds).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Range {
+			switch r.Intn(4) {
+			case 0:
+				return Empty()
+			case 1:
+				lo := int64(r.Intn(4))
+				return Full(Const(lo), Const(lo+int64(r.Intn(6))))
+			case 2:
+				return Low(Const(int64(r.Intn(4))))
+			default:
+				return High(Const(int64(r.Intn(6))))
+			}
+		}
+		a, b := mk(), mk()
+		var n1, n2 Namer
+		x := MergeRanges(a, b, NewMergeCtx(&n1))
+		y := MergeRanges(b, a, NewMergeCtx(&n2))
+		return x.Kind == y.Kind
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeRangesIdempotent(t *testing.T) {
+	f := func(lo8, w8 uint8, kind uint8) bool {
+		lo := int64(lo8 % 8)
+		hi := lo + int64(w8%8)
+		var rng Range
+		switch kind % 4 {
+		case 0:
+			rng = Empty()
+		case 1:
+			rng = Full(Const(lo), Const(hi))
+		case 2:
+			rng = Low(Const(lo))
+		default:
+			rng = High(Const(hi))
+		}
+		var n Namer
+		got := MergeRanges(rng, rng, NewMergeCtx(&n))
+		return got.Equal(rng)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if Empty().String() != "[]" {
+		t.Error("empty string form")
+	}
+	if got := Full(Const(0), Const(3)).String(); got != "[0..3]" {
+		t.Errorf("full = %q", got)
+	}
+	if got := Low(Const(2)).String(); got != "[2..]" {
+		t.Errorf("low = %q", got)
+	}
+	if got := High(Const(2)).String(); got != "[..2]" {
+		t.Errorf("high = %q", got)
+	}
+}

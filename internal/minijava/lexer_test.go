@@ -1,0 +1,109 @@
+package minijava
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("t.mj", "class Foo { int x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "class"}, {TokIdent, "Foo"}, {TokPunct, "{"},
+		{TokKeyword, "int"}, {TokIdent, "x"}, {TokPunct, ";"},
+		{TokPunct, "}"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("t.mj", "== != <= >= && || < > = ! + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"==", "!=", "<=", ">=", "&&", "||", "<", ">", "=", "!", "+", "-", "*", "/", "%"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexIntLiteral(t *testing.T) {
+	toks, err := LexAll("t.mj", "12345 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 12345 || toks[1].Val != 0 {
+		t.Errorf("int values = %d %d", toks[0].Val, toks[1].Val)
+	}
+}
+
+func TestLexIntOverflow(t *testing.T) {
+	if _, err := LexAll("t.mj", "99999999999999999999999999"); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+x /* block
+comment */ y
+`
+	toks, err := LexAll("t.mj", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := LexAll("t.mj", "x /* never closed"); err == nil {
+		t.Fatal("expected unterminated comment error")
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	if _, err := LexAll("t.mj", "x # y"); err == nil {
+		t.Fatal("expected error for bad character")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("t.mj", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	_, err := LexAll("file.mj", "@")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.File != "file.mj" || se.Line != 1 {
+		t.Errorf("position = %s:%d", se.File, se.Line)
+	}
+}

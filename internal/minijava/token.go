@@ -1,0 +1,217 @@
+// Package minijava implements the front end for the MiniJava-style source
+// language used by this repository's workloads and examples: a lexer, a
+// recursive-descent parser, and a type checker. The language is a small
+// Java subset — classes with instance/static fields, constructors, static
+// and instance methods, int/boolean/class/array types — chosen so that the
+// bytecode it compiles to exercises exactly the instruction forms over
+// which the CGO'05 barrier-elision analyses are defined.
+package minijava
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokenKind identifies a lexical token class.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Val  int64 // for TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"class": true, "static": true, "void": true, "int": true, "boolean": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"new": true, "this": true, "null": true, "true": true, "false": true,
+	"print": true, "spawn": true, "length": true,
+}
+
+// Lexer splits MiniJava source text into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+	file string
+}
+
+// NewLexer returns a lexer over src; file is used in error positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1, file: file}
+}
+
+// SyntaxError is a lexing or parsing failure with a source position.
+type SyntaxError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errorf(line, col int, format string, args ...any) error {
+	return &SyntaxError{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPuncts are the multi-rune operators, checked before single runes.
+var twoCharPuncts = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		var v int64
+		for _, d := range text {
+			nv := v*10 + int64(d-'0')
+			if nv < v {
+				return Token{}, l.errorf(line, col, "integer literal %s overflows int64", text)
+			}
+			v = nv
+		}
+		return Token{Kind: TokInt, Text: text, Val: v, Line: line, Col: col}, nil
+	default:
+		if l.pos+1 < len(l.src) {
+			two := string(l.src[l.pos : l.pos+2])
+			if twoCharPuncts[two] {
+				l.advance()
+				l.advance()
+				return Token{Kind: TokPunct, Text: two, Line: line, Col: col}, nil
+			}
+		}
+		switch r {
+		case '{', '}', '(', ')', '[', ']', ';', ',', '.', '=', '<', '>', '+', '-', '*', '/', '%', '!':
+			l.advance()
+			return Token{Kind: TokPunct, Text: string(r), Line: line, Col: col}, nil
+		}
+		return Token{}, l.errorf(line, col, "unexpected character %q", string(r))
+	}
+}
+
+// LexAll tokenizes the whole input (including the trailing EOF token).
+func LexAll(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package pipeline drives the end-to-end compile path the experiments
+// use: parse → typecheck → codegen → inline(limit) → verify →
+// analyze(mode) → run on the VM. It records per-stage times (the paper's
+// §4.4 compile-time measurements) and compiled-code sizes including
+// per-barrier expansion (Figure 3).
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/codegen"
+	"satbelim/internal/core"
+	"satbelim/internal/inline"
+	"satbelim/internal/minijava"
+	"satbelim/internal/verifier"
+	"satbelim/internal/vm"
+)
+
+// BarrierInlineBytes models the machine-code footprint of one inline SATB
+// barrier sequence (the paper's 9–12 RISC instructions, §1). Eliding a
+// site saves this many bytes of compiled code.
+const BarrierInlineBytes = 40
+
+// CodeExpansionFactor models the machine-code bytes produced per bytecode
+// byte by a client JIT; it scales the non-barrier part of the Figure 3
+// code-size model.
+const CodeExpansionFactor = 8
+
+// Options configure a build.
+type Options struct {
+	// InlineLimit is the maximum callee bytecode size to inline
+	// (paper §4.4: 0/25/50/100/200).
+	InlineLimit int
+	// Analysis selects the barrier analysis configuration (B/F/A and
+	// extensions).
+	Analysis core.Options
+}
+
+// Build is a compiled, analyzed program plus compile-time metrics.
+type Build struct {
+	Name    string
+	Program *bytecode.Program
+	Options Options
+
+	FrontendTime time.Duration // parse + typecheck + codegen
+	InlineTime   time.Duration
+	VerifyTime   time.Duration
+	AnalysisTime time.Duration
+
+	// BytecodeBytes is the post-inline bytecode size.
+	BytecodeBytes int
+	// InlinedCalls counts expanded call sites.
+	InlinedCalls int
+	// Report is the analysis report (nil for ModeNone).
+	Report *core.ProgramReport
+}
+
+// CompileTime is the total compile-side time.
+func (b *Build) CompileTime() time.Duration {
+	return b.FrontendTime + b.InlineTime + b.VerifyTime + b.AnalysisTime
+}
+
+// CompiledCodeSize models total compiled code bytes: expanded bytecode
+// plus the inline barrier sequence at every *kept* reference-store site
+// (Figure 3's metric — elision shrinks code by 2–6% in the paper).
+func (b *Build) CompiledCodeSize() int {
+	size := 0
+	for _, m := range b.Program.Methods() {
+		size += m.Size() * CodeExpansionFactor
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			switch in.Op {
+			case bytecode.OpPutField:
+				if b.Program.FieldType(in.Field).IsRef() && !in.Elide && !in.ElideNullOrSame {
+					size += BarrierInlineBytes
+				}
+			case bytecode.OpAAStore:
+				if !in.Elide && !in.ElideNullOrSame {
+					size += BarrierInlineBytes
+				}
+			case bytecode.OpPutStatic:
+				if b.Program.FieldType(in.Field).IsRef() {
+					size += BarrierInlineBytes
+				}
+			}
+		}
+	}
+	return size
+}
+
+// Compile builds a program from MiniJava source.
+func Compile(name, source string, opts Options) (*Build, error) {
+	b := &Build{Name: name, Options: opts}
+
+	start := time.Now()
+	ast, err := minijava.Parse(name+".mj", source)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline %s: %w", name, err)
+	}
+	checked, err := minijava.Check(name+".mj", ast)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline %s: %w", name, err)
+	}
+	prog, err := codegen.Compile(checked)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline %s: %w", name, err)
+	}
+	b.FrontendTime = time.Since(start)
+
+	start = time.Now()
+	ir := inline.Apply(prog, inline.Options{Limit: opts.InlineLimit})
+	b.InlineTime = time.Since(start)
+	b.Program = ir.Program
+	b.InlinedCalls = ir.Expanded
+
+	start = time.Now()
+	if err := verifier.VerifyProgram(b.Program); err != nil {
+		return nil, fmt.Errorf("pipeline %s: %w", name, err)
+	}
+	b.VerifyTime = time.Since(start)
+	b.BytecodeBytes = b.Program.Size()
+
+	if opts.Analysis.Mode != core.ModeNone {
+		start = time.Now()
+		rep, err := core.AnalyzeProgram(b.Program, opts.Analysis)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline %s: %w", name, err)
+		}
+		b.AnalysisTime = time.Since(start)
+		b.Report = rep
+	}
+	return b, nil
+}
+
+// Run executes the built program on the VM.
+func (b *Build) Run(cfg vm.Config) (*vm.Result, error) {
+	return vm.New(b.Program, cfg).Run()
+}

@@ -1,0 +1,181 @@
+package progen
+
+import (
+	"reflect"
+	"testing"
+
+	"satbelim/internal/core"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/satb"
+	"satbelim/internal/vm"
+)
+
+const seeds = 60
+
+// TestGeneratedProgramsCompileVerifyAndRun is the front-to-back smoke
+// property: every generated program parses, checks, verifies, and runs to
+// completion with bounded work.
+func TestGeneratedProgramsCompileVerifyAndRun(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(seed, DefaultConfig())
+		b, err := pipeline.Compile("gen", src, pipeline.Options{InlineLimit: 100})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		res, err := b.Run(vm.Config{MaxSteps: 20_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if len(res.Output) == 0 {
+			t.Fatalf("seed %d: no output", seed)
+		}
+	}
+}
+
+// TestGeneratedProgramsInlineInvariance: inlining must never change
+// program semantics.
+func TestGeneratedProgramsInlineInvariance(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(seed, DefaultConfig())
+		var base []int64
+		for _, limit := range []int{0, 50, 200} {
+			b, err := pipeline.Compile("gen", src, pipeline.Options{InlineLimit: limit})
+			if err != nil {
+				t.Fatalf("seed %d limit %d: %v", seed, limit, err)
+			}
+			res, err := b.Run(vm.Config{MaxSteps: 20_000_000})
+			if err != nil {
+				t.Fatalf("seed %d limit %d: %v", seed, limit, err)
+			}
+			if base == nil {
+				base = res.Output
+			} else if !reflect.DeepEqual(base, res.Output) {
+				t.Fatalf("seed %d: limit %d changed output %v -> %v\n%s",
+					seed, limit, base, res.Output, src)
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsElisionSoundness: the analysis may never elide a
+// barrier that dynamically observes a non-null pre-value (or, for
+// null-or-same sites, a different value), on any generated program.
+func TestGeneratedProgramsElisionSoundness(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(seed, DefaultConfig())
+		b, err := pipeline.Compile("gen", src, pipeline.Options{
+			InlineLimit: 100,
+			Analysis:    core.Options{Mode: core.ModeFieldArray, NullOrSame: true},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := b.Run(vm.Config{Barrier: satb.ModeConditional, MaxSteps: 20_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s := res.Counters.Summarize(); len(s.UnsoundSites) != 0 {
+			t.Fatalf("seed %d: unsound elisions %v\n%s", seed, s.UnsoundSites, src)
+		}
+	}
+}
+
+// TestGeneratedProgramsSATBInvariant runs a sample of generated programs
+// under concurrent SATB marking with elided barriers and verifies the
+// snapshot invariant every cycle.
+func TestGeneratedProgramsSATBInvariant(t *testing.T) {
+	for seed := int64(0); seed < seeds/2; seed++ {
+		src := Generate(seed, DefaultConfig())
+		b, err := pipeline.Compile("gen", src, pipeline.Options{
+			InlineLimit: 100,
+			Analysis:    core.Options{Mode: core.ModeFieldArray},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: SATB invariant violated: %v\n%s", seed, r, src)
+				}
+			}()
+			if _, err := b.Run(vm.Config{
+				Barrier:            satb.ModeConditional,
+				GC:                 vm.GCSATB,
+				TriggerEveryAllocs: 20,
+				MarkStepBudget:     3,
+				CheckInvariant:     true,
+				MaxSteps:           20_000_000,
+			}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}()
+	}
+}
+
+// TestGeneratedProgramsBarrierModeInvariance: barrier mode and collector
+// choice never change results.
+func TestGeneratedProgramsBarrierModeInvariance(t *testing.T) {
+	for seed := int64(0); seed < seeds/2; seed++ {
+		src := Generate(seed, DefaultConfig())
+		b, err := pipeline.Compile("gen", src, pipeline.Options{InlineLimit: 100})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var base []int64
+		for _, cfg := range []vm.Config{
+			{Barrier: satb.ModeNoBarrier},
+			{Barrier: satb.ModeConditional},
+			{Barrier: satb.ModeAlwaysLog},
+			{Barrier: satb.ModeCardMarking, GC: vm.GCIncremental, TriggerEveryAllocs: 30},
+			{Barrier: satb.ModeConditional, GC: vm.GCSATB, TriggerEveryAllocs: 30},
+		} {
+			cfg.MaxSteps = 20_000_000
+			res, err := b.Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if base == nil {
+				base = res.Output
+			} else if !reflect.DeepEqual(base, res.Output) {
+				t.Fatalf("seed %d: output changed under %+v: %v vs %v", seed, cfg, base, res.Output)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, DefaultConfig())
+	b := Generate(42, DefaultConfig())
+	if a != b {
+		t.Error("generation must be deterministic per seed")
+	}
+	c := Generate(43, DefaultConfig())
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestGeneratedProgramsInterproceduralSoundness: summaries must never
+// produce an elision that a dynamic run refutes, at any inline level.
+func TestGeneratedProgramsInterproceduralSoundness(t *testing.T) {
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(seed, DefaultConfig())
+		for _, limit := range []int{0, 100} {
+			b, err := pipeline.Compile("gen", src, pipeline.Options{
+				InlineLimit: limit,
+				Analysis:    core.Options{Mode: core.ModeFieldArray, Interprocedural: true},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := b.Run(vm.Config{Barrier: satb.ModeConditional, MaxSteps: 20_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if s := res.Counters.Summarize(); len(s.UnsoundSites) != 0 {
+				t.Fatalf("seed %d limit %d: unsound %v\n%s", seed, limit, s.UnsoundSites, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package satb implements the mutator side of snapshot-at-the-beginning
+// concurrent marking: the write barriers executed at reference stores,
+// their thread-local log buffers, per-site instrumentation, and a
+// deterministic instruction-cost model used by the end-to-end experiments
+// (Table 2). A card-marking incremental-update barrier is provided as the
+// comparison baseline.
+package satb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"satbelim/internal/heap"
+)
+
+// BarrierMode selects the barrier configuration (Table 2's three modes,
+// plus the card-marking baseline).
+type BarrierMode int
+
+const (
+	// ModeNoBarrier executes no write barriers at all (the "no-barrier"
+	// row: an unsound configuration used to measure barrier cost).
+	ModeNoBarrier BarrierMode = iota
+	// ModeConditional is the production SATB barrier: check whether
+	// marking is in progress; if so read the pre-value, and log it when
+	// non-null.
+	ModeConditional
+	// ModeAlwaysLog elides the marking-in-progress check and always
+	// logs non-null pre-values (the incrementalized-marking future of
+	// §4.5, the "always-log" row).
+	ModeAlwaysLog
+	// ModeCardMarking is the incremental-update baseline: a two-
+	// instruction dirty-card barrier; the collector rescans dirty
+	// objects.
+	ModeCardMarking
+)
+
+func (m BarrierMode) String() string {
+	switch m {
+	case ModeNoBarrier:
+		return "no-barrier"
+	case ModeConditional:
+		return "conditional"
+	case ModeAlwaysLog:
+		return "always-log"
+	default:
+		return "card-marking"
+	}
+}
+
+// Barrier cost model, in abstract RISC-instruction units. The paper (§1)
+// reports 9–12 instructions for the full SATB barrier and ~2 for a
+// card-marking barrier; the constants below follow that shape.
+const (
+	// CostCheckOnly: marking not in progress — the inline check falls
+	// through.
+	CostCheckOnly = 1
+	// CostTraceCheck: the rearrangement store's trace-state read + test.
+	CostTraceCheck = 2
+	// CostRetrace: enqueueing an array on the retrace list.
+	CostRetrace = 6
+	// CostPreNull: marking in progress, pre-value read and found null —
+	// no logging needed.
+	CostPreNull = 5
+	// CostLogged: marking in progress, non-null pre-value pushed to the
+	// thread-local buffer.
+	CostLogged = 12
+	// CostAlwaysPreNull / CostAlwaysLogged: the always-log barrier saves
+	// the check instruction.
+	CostAlwaysPreNull = 4
+	CostAlwaysLogged  = 11
+	// CostCard: the card-marking barrier.
+	CostCard = 2
+)
+
+// SiteKind distinguishes the two compiled barrier kinds of Table 1.
+type SiteKind int
+
+const (
+	FieldSite SiteKind = iota
+	ArraySite
+)
+
+func (k SiteKind) String() string {
+	if k == FieldSite {
+		return "field"
+	}
+	return "array"
+}
+
+// SiteKey identifies a compiled store site.
+type SiteKey struct {
+	Method string
+	PC     int
+}
+
+// ElideKind records the analysis verdict for a site.
+type ElideKind int
+
+const (
+	// ElideNone: the barrier is kept.
+	ElideNone ElideKind = iota
+	// ElidePreNull: proven to overwrite null (§2/§3).
+	ElidePreNull
+	// ElideNullOrSame: proven to overwrite null or rewrite the value
+	// already present (§4.3).
+	ElideNullOrSame
+	// ElideRearrange: half of an array-element swap; the logging barrier
+	// is replaced by the optimistic trace-state check (§4.3).
+	ElideRearrange
+)
+
+// SiteStats instruments one store site.
+type SiteStats struct {
+	Kind SiteKind
+	// Elide records the analysis verdict for the site.
+	Elide ElideKind
+	// Execs counts dynamic executions; PreNull counts executions whose
+	// overwritten value was null. A site with Execs == PreNull is
+	// "potentially pre-null" (§4.2).
+	Execs   uint64
+	PreNull uint64
+	// NullOrSame counts executions whose overwritten value was null or
+	// equal to the stored value (the §4.3 condition).
+	NullOrSame uint64
+	// Retraces counts rearrangement-store executions that had to
+	// schedule an array retrace.
+	Retraces uint64
+}
+
+// PotentiallyPreNull reports whether no execution ever saw a non-null
+// pre-value.
+func (s *SiteStats) PotentiallyPreNull() bool { return s.Execs > 0 && s.Execs == s.PreNull }
+
+// Counters aggregates barrier instrumentation for one VM run.
+type Counters struct {
+	sites map[SiteKey]*SiteStats
+
+	// Cost accumulates barrier cost units actually paid.
+	Cost uint64
+	// Logged counts SATB log entries produced.
+	Logged uint64
+	// CardsDirtied counts card-marking barrier hits.
+	CardsDirtied uint64
+	// StaticExecs counts putstatic reference stores (never elidable).
+	StaticExecs uint64
+}
+
+// NewCounters returns empty instrumentation.
+func NewCounters() *Counters {
+	return &Counters{sites: map[SiteKey]*SiteStats{}}
+}
+
+// Site returns (creating if needed) the stats for a store site.
+func (c *Counters) Site(key SiteKey, kind SiteKind, elide ElideKind) *SiteStats {
+	s, ok := c.sites[key]
+	if !ok {
+		s = &SiteStats{Kind: kind, Elide: elide}
+		c.sites[key] = s
+	}
+	return s
+}
+
+// Sites returns all sites in deterministic order.
+func (c *Counters) Sites() []*SiteStats {
+	keys := make([]SiteKey, 0, len(c.sites))
+	for k := range c.sites {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Method != keys[j].Method {
+			return keys[i].Method < keys[j].Method
+		}
+		return keys[i].PC < keys[j].PC
+	})
+	out := make([]*SiteStats, len(keys))
+	for i, k := range keys {
+		out[i] = c.sites[k]
+	}
+	return out
+}
+
+// Summary holds the Table 1 row quantities for one run.
+type Summary struct {
+	TotalExecs  uint64 // compiled barrier executions (field + array)
+	ElidedExecs uint64 // executions at pre-null-elided sites
+	FieldExecs  uint64
+	ArrayExecs  uint64
+	FieldElided uint64
+	ArrayElided uint64
+	PotPreNull  uint64 // executions at potentially-pre-null sites
+	// NullOrSameExecs counts executions at §4.3 null-or-same-elided
+	// sites (reported separately from Table 1's eliminations).
+	NullOrSameExecs uint64
+	// RearrangeExecs counts executions at §4.3 rearrangement sites,
+	// with Retraces the subset that had to schedule a rescan.
+	RearrangeExecs uint64
+	Retraces       uint64
+	UnsoundSites   []SiteKey
+}
+
+// Summarize computes the Table 1 quantities, flagging any elided site that
+// observed a non-null pre-value (which would indicate an analysis
+// soundness bug, §4.2's correctness check).
+func (c *Counters) Summarize() Summary {
+	var sum Summary
+	keys := make([]SiteKey, 0, len(c.sites))
+	for k := range c.sites {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Method != keys[j].Method {
+			return keys[i].Method < keys[j].Method
+		}
+		return keys[i].PC < keys[j].PC
+	})
+	for _, k := range keys {
+		s := c.sites[k]
+		sum.TotalExecs += s.Execs
+		if s.Kind == FieldSite {
+			sum.FieldExecs += s.Execs
+		} else {
+			sum.ArrayExecs += s.Execs
+		}
+		switch s.Elide {
+		case ElidePreNull:
+			sum.ElidedExecs += s.Execs
+			if s.Kind == FieldSite {
+				sum.FieldElided += s.Execs
+			} else {
+				sum.ArrayElided += s.Execs
+			}
+			if s.PreNull != s.Execs {
+				sum.UnsoundSites = append(sum.UnsoundSites, k)
+			}
+		case ElideNullOrSame:
+			sum.NullOrSameExecs += s.Execs
+			if s.NullOrSame != s.Execs {
+				sum.UnsoundSites = append(sum.UnsoundSites, k)
+			}
+		case ElideRearrange:
+			// Correctness is protocol-level (validated by the GC's
+			// snapshot-invariant checker), not per-store.
+			sum.RearrangeExecs += s.Execs
+			sum.Retraces += s.Retraces
+		}
+		if s.Execs > 0 && s.PreNull == s.Execs {
+			sum.PotPreNull += s.Execs
+		}
+	}
+	return sum
+}
+
+// String renders the summary in the paper's Table 1 terms.
+func (s Summary) String() string {
+	var b strings.Builder
+	pct := func(n, d uint64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	fmt.Fprintf(&b, "total barrier execs: %d (field %d / array %d)\n",
+		s.TotalExecs, s.FieldExecs, s.ArrayExecs)
+	fmt.Fprintf(&b, "eliminated: %.1f%% total, %.1f%% field, %.1f%% array, potential pre-null %.1f%%",
+		pct(s.ElidedExecs, s.TotalExecs),
+		pct(s.FieldElided, s.FieldExecs),
+		pct(s.ArrayElided, s.ArrayExecs),
+		pct(s.PotPreNull, s.TotalExecs))
+	if s.NullOrSameExecs > 0 {
+		fmt.Fprintf(&b, ", null-or-same %.1f%%", pct(s.NullOrSameExecs, s.TotalExecs))
+	}
+	if s.RearrangeExecs > 0 {
+		fmt.Fprintf(&b, ", rearrange %.1f%% (%d retraces)", pct(s.RearrangeExecs, s.TotalExecs), s.Retraces)
+	}
+	if len(s.UnsoundSites) > 0 {
+		fmt.Fprintf(&b, "\nUNSOUND ELISIONS: %v", s.UnsoundSites)
+	}
+	return b.String()
+}
+
+// Logger receives SATB pre-value log entries (the concurrent marker).
+type Logger interface {
+	// LogPreValue records an overwritten non-null reference.
+	LogPreValue(r heap.Ref)
+	// MarkingActive reports whether a concurrent mark is in progress.
+	MarkingActive() bool
+	// DirtyCard records an incremental-update barrier hit on the object.
+	DirtyCard(r heap.Ref)
+	// TraceStateOf reports the collector's scan progress on an array
+	// and Retrace schedules a full rescan — the §4.3 rearrangement
+	// protocol's collector half.
+	TraceStateOf(r heap.Ref) heap.TraceState
+	Retrace(r heap.Ref)
+}
+
+// NopLogger discards barrier traffic (for barrier-cost runs without a
+// collector).
+type NopLogger struct{ Active bool }
+
+func (n *NopLogger) LogPreValue(heap.Ref)                  {}
+func (n *NopLogger) MarkingActive() bool                   { return n.Active }
+func (n *NopLogger) DirtyCard(r heap.Ref)                  {}
+func (n *NopLogger) TraceStateOf(heap.Ref) heap.TraceState { return heap.TraceUntraced }
+func (n *NopLogger) Retrace(heap.Ref)                      {}
+
+// Barrier executes the write barrier for a reference store of newVal whose
+// overwritten value was pre. elide reflects the compile-time analysis
+// verdict for the site; the instrumentation still observes elided stores
+// (to validate soundness and compute the pre-null upper bound) but pays no
+// barrier cost for them.
+func (c *Counters) Barrier(mode BarrierMode, log Logger, key SiteKey, kind SiteKind, elide ElideKind, pre, newVal, target heap.Ref) {
+	s := c.Site(key, kind, elide)
+	s.Execs++
+	if pre == heap.Null {
+		s.PreNull++
+	}
+	if pre == heap.Null || pre == newVal {
+		s.NullOrSame++
+	}
+	if elide == ElideRearrange {
+		// The rearrangement protocol replaces logging with a trace-state
+		// check; overlap with the collector's scan schedules a retrace.
+		// Under card marking the site degrades to a normal card store.
+		if mode == ModeCardMarking {
+			c.Cost += CostCard
+			c.CardsDirtied++
+			log.DirtyCard(target)
+			return
+		}
+		if mode == ModeNoBarrier || !log.MarkingActive() {
+			if mode == ModeConditional {
+				c.Cost += CostCheckOnly
+			}
+			return
+		}
+		c.Cost += CostTraceCheck
+		if log.TraceStateOf(target) != heap.TraceUntraced {
+			c.Cost += CostRetrace
+			s.Retraces++
+			log.Retrace(target)
+		}
+		return
+	}
+	if elide != ElideNone {
+		return
+	}
+	switch mode {
+	case ModeNoBarrier:
+	case ModeConditional:
+		if !log.MarkingActive() {
+			c.Cost += CostCheckOnly
+			return
+		}
+		if pre == heap.Null {
+			c.Cost += CostPreNull
+			return
+		}
+		c.Cost += CostLogged
+		c.Logged++
+		log.LogPreValue(pre)
+	case ModeAlwaysLog:
+		if pre == heap.Null {
+			c.Cost += CostAlwaysPreNull
+			return
+		}
+		c.Cost += CostAlwaysLogged
+		c.Logged++
+		if log.MarkingActive() {
+			log.LogPreValue(pre)
+		}
+	case ModeCardMarking:
+		c.Cost += CostCard
+		c.CardsDirtied++
+		log.DirtyCard(target)
+	}
+}
+
+// StaticBarrier handles putstatic reference stores (always logged; the
+// analyses never elide them).
+func (c *Counters) StaticBarrier(mode BarrierMode, log Logger, pre heap.Ref) {
+	c.StaticExecs++
+	switch mode {
+	case ModeNoBarrier:
+	case ModeConditional:
+		if !log.MarkingActive() {
+			c.Cost += CostCheckOnly
+			return
+		}
+		if pre == heap.Null {
+			c.Cost += CostPreNull
+			return
+		}
+		c.Cost += CostLogged
+		c.Logged++
+		log.LogPreValue(pre)
+	case ModeAlwaysLog:
+		if pre == heap.Null {
+			c.Cost += CostAlwaysPreNull
+			return
+		}
+		c.Cost += CostAlwaysLogged
+		c.Logged++
+		if log.MarkingActive() {
+			log.LogPreValue(pre)
+		}
+	case ModeCardMarking:
+		c.Cost += CostCard
+		c.CardsDirtied++
+	}
+}

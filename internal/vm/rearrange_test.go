@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/core"
+	"satbelim/internal/satb"
+)
+
+// shuffleSrc swaps array elements continuously while allocating garbage,
+// so marking cycles overlap many rearrangements.
+const shuffleSrc = `
+class T { int v; T(int v0) { v = v0; } }
+class Noise { int n; Noise next; Noise(int x) { n = x; } }
+class App {
+    static T[] data;
+    static Noise keep;
+    static void swap(int i, int j) {
+        T a = App.data[i];
+        T b = App.data[j];
+        App.data[i] = b;
+        App.data[j] = a;
+    }
+    static void main() {
+        App.data = new T[16];
+        for (int i = 0; i < 16; i = i + 1) App.data[i] = new T(i);
+        int check = 0;
+        for (int round = 0; round < 120; round = round + 1) {
+            swap(round % 15, (round % 15) + 1);
+            swap((round * 7) % 16, (round * 3) % 16);
+            // Allocation noise triggers marking cycles mid-shuffle.
+            Noise n = new Noise(round);
+            n.next = App.keep;
+            App.keep = n;
+            check = check + App.data[round % 16].v;
+        }
+        print(check);
+    }
+}
+`
+
+func buildShuffle(t *testing.T, rearrange bool) *bytecode.Program {
+	t.Helper()
+	p := compileSrc(t, shuffleSrc, 100)
+	opts := core.Options{Mode: core.ModeFieldArray, Rearrange: rearrange}
+	if _, err := core.AnalyzeProgram(p, opts); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRearrangeProtocolPreservesSnapshotInvariant(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("SATB invariant violated with rearrangement elision: %v", r)
+		}
+	}()
+	p := buildShuffle(t, true)
+	// Tiny quanta and mark budgets force marker scans to interleave with
+	// swap halves (including between the two stores of one swap).
+	res, err := New(p, Config{
+		Barrier:            satb.ModeConditional,
+		GC:                 GCSATB,
+		TriggerEveryAllocs: 10,
+		MarkStepBudget:     1,
+		Quantum:            3,
+		CheckInvariant:     true,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("expected marking cycles")
+	}
+	s := res.Counters.Summarize()
+	if s.RearrangeExecs == 0 {
+		t.Fatal("expected rearrangement-elided executions")
+	}
+	if len(s.UnsoundSites) != 0 {
+		t.Fatalf("unsound: %v", s.UnsoundSites)
+	}
+	t.Logf("cycles=%d rearrangeExecs=%d retraces=%d", res.Cycles, s.RearrangeExecs, s.Retraces)
+}
+
+func TestRearrangeSemanticsUnchanged(t *testing.T) {
+	pOff := buildShuffle(t, false)
+	pOn := buildShuffle(t, true)
+	cfg := Config{
+		Barrier:            satb.ModeConditional,
+		GC:                 GCSATB,
+		TriggerEveryAllocs: 10,
+		MarkStepBudget:     1,
+		Quantum:            3,
+	}
+	rOff, err := New(pOff, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOn, err := New(pOn, cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rOff.Output, rOn.Output) {
+		t.Errorf("rearrangement elision changed output: %v vs %v", rOff.Output, rOn.Output)
+	}
+	if !(rOn.Counters.Cost < rOff.Counters.Cost) {
+		t.Errorf("rearrangement should cut barrier cost: %d -> %d", rOff.Counters.Cost, rOn.Counters.Cost)
+	}
+	if rOn.Counters.Logged >= rOff.Counters.Logged {
+		t.Errorf("rearrangement should cut log traffic: %d -> %d", rOff.Counters.Logged, rOn.Counters.Logged)
+	}
+}
+
+func TestRearrangeUnderCardMarkingFallsBack(t *testing.T) {
+	p := buildShuffle(t, true)
+	res, err := New(p, Config{
+		Barrier:            satb.ModeCardMarking,
+		GC:                 GCIncremental,
+		TriggerEveryAllocs: 10,
+		MarkStepBudget:     1,
+		Quantum:            3,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.CardsDirtied == 0 {
+		t.Error("flagged sites must degrade to card stores under incremental update")
+	}
+}

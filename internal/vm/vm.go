@@ -1,0 +1,584 @@
+// Package vm interprets bytecode programs over the heap, executing SATB
+// (or card-marking) write barriers at reference stores and driving the
+// concurrent collector in deterministic steps. Threads created by spawn
+// are scheduled cooperatively (fixed round-robin quanta) so that every
+// run — including the mutator/collector interleaving — is reproducible.
+package vm
+
+import (
+	"fmt"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/gc"
+	"satbelim/internal/heap"
+	"satbelim/internal/satb"
+)
+
+// GCKind selects the collector.
+type GCKind int
+
+const (
+	// GCNone runs without a collector (barriers may still execute,
+	// feeding a no-op logger).
+	GCNone GCKind = iota
+	// GCSATB runs the snapshot-at-the-beginning concurrent marker.
+	GCSATB
+	// GCIncremental runs the mostly-parallel incremental-update marker.
+	GCIncremental
+)
+
+// Config controls one VM run.
+type Config struct {
+	Barrier satb.BarrierMode
+	GC      GCKind
+	// TriggerEveryAllocs starts a marking cycle each time this many
+	// allocations accumulate (0 = never).
+	TriggerEveryAllocs int64
+	// MarkStepBudget is the marking work granted per scheduler quantum.
+	MarkStepBudget int
+	// Quantum is the number of instructions one thread runs before the
+	// scheduler rotates (and the marker steps).
+	Quantum int
+	// MaxSteps bounds total executed instructions (0 = default bound).
+	MaxSteps int64
+	// CheckInvariant records a snapshot at each mark start and verifies
+	// the SATB reachability invariant at each mark end.
+	CheckInvariant bool
+	// ForceMarkingAlways keeps a marking cycle permanently active
+	// (starting a new cycle as soon as one finishes).
+	ForceMarkingAlways bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Output   []int64
+	Steps    int64 // executed instructions (base cost units)
+	Counters *satb.Counters
+	// Cycles is the number of completed marking cycles.
+	Cycles int
+	// FinalPauseWork sums the final-pause work of all cycles.
+	FinalPauseWork int
+	// Allocated counts heap allocations.
+	Allocated int64
+	// Swept counts objects reclaimed.
+	Swept int
+}
+
+// TotalCost is the deterministic cost-model total: instructions executed
+// plus barrier cost units.
+func (r *Result) TotalCost() uint64 { return uint64(r.Steps) + r.Counters.Cost }
+
+// RuntimeError is a VM execution failure with location.
+type RuntimeError struct {
+	Method string
+	PC     int
+	Line   int
+	Msg    string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error at %s pc %d (line %d): %s", e.Method, e.PC, e.Line, e.Msg)
+}
+
+type frame struct {
+	m      *bytecode.Method
+	pc     int
+	locals []heap.Value
+	stack  []heap.Value
+}
+
+type thread struct {
+	frames []*frame
+	done   bool
+}
+
+// VM is one interpreter instance.
+type VM struct {
+	prog     *bytecode.Program
+	cfg      Config
+	heap     *heap.Heap
+	counters *satb.Counters
+	marker   gc.Marker
+	noplog   satb.NopLogger
+	threads  []*thread
+	output   []int64
+
+	steps          int64
+	maxSteps       int64
+	allocSinceGC   int64
+	cycles         int
+	finalPauseWork int
+	swept          int
+}
+
+// New prepares a VM for the program.
+func New(p *bytecode.Program, cfg Config) *VM {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 64
+	}
+	if cfg.MarkStepBudget <= 0 {
+		cfg.MarkStepBudget = 32
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+	v := &VM{
+		prog:     p,
+		cfg:      cfg,
+		heap:     heap.New(heap.NewLayout(p)),
+		counters: satb.NewCounters(),
+		maxSteps: cfg.MaxSteps,
+	}
+	switch cfg.GC {
+	case GCSATB:
+		v.marker = gc.NewSATB(v.heap)
+	case GCIncremental:
+		v.marker = gc.NewInc(v.heap)
+	}
+	return v
+}
+
+// Heap exposes the heap (tests and tools).
+func (v *VM) Heap() *heap.Heap { return v.heap }
+
+// logger returns the barrier sink.
+func (v *VM) logger() satb.Logger {
+	if v.marker != nil {
+		return v.marker
+	}
+	return &v.noplog
+}
+
+// Run executes main to completion (all threads).
+func (v *VM) Run() (*Result, error) {
+	main := v.prog.Method(v.prog.Main)
+	if main == nil {
+		return nil, fmt.Errorf("vm: no main method %s", v.prog.Main)
+	}
+	v.threads = []*thread{{frames: []*frame{newFrame(main)}}}
+	if v.cfg.ForceMarkingAlways && v.marker != nil {
+		v.startCycle()
+	}
+
+	for {
+		live := 0
+		for _, t := range v.threads {
+			if !t.done {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		for _, t := range v.threads {
+			if t.done {
+				continue
+			}
+			if err := v.runQuantum(t); err != nil {
+				return nil, err
+			}
+			v.gcTick()
+		}
+	}
+	// Wind down any active cycle.
+	if v.marker != nil && v.marker.MarkingActive() {
+		v.finishCycle()
+	}
+	return &Result{
+		Output:         v.output,
+		Steps:          v.steps,
+		Counters:       v.counters,
+		Cycles:         v.cycles,
+		FinalPauseWork: v.finalPauseWork,
+		Allocated:      v.heap.Allocated,
+		Swept:          v.swept,
+	}, nil
+}
+
+func newFrame(m *bytecode.Method) *frame {
+	return &frame{m: m, locals: make([]heap.Value, m.NumSlots), stack: make([]heap.Value, 0, m.MaxStack+4)}
+}
+
+// roots collects the current GC roots: every reference in every thread's
+// frames, plus static fields.
+func (v *VM) roots() []heap.Ref {
+	var out []heap.Ref
+	for _, t := range v.threads {
+		for _, f := range t.frames {
+			for _, val := range f.locals {
+				if val.IsRef && val.R != heap.Null {
+					out = append(out, val.R)
+				}
+			}
+			for _, val := range f.stack {
+				if val.IsRef && val.R != heap.Null {
+					out = append(out, val.R)
+				}
+			}
+		}
+	}
+	return append(out, v.heap.StaticRoots()...)
+}
+
+// startCycle begins a marking cycle.
+func (v *VM) startCycle() {
+	v.marker.Start(v.roots(), v.cfg.CheckInvariant)
+	v.allocSinceGC = 0
+}
+
+// finishCycle completes the cycle, checks the invariant, and sweeps.
+func (v *VM) finishCycle() {
+	v.finalPauseWork += v.marker.Finish(v.roots())
+	v.cycles++
+	if v.cfg.CheckInvariant {
+		if m, ok := v.marker.(*gc.SATBMarker); ok {
+			if err := m.CheckSnapshotInvariant(); err != nil {
+				panic(err) // soundness bug: tests convert via recover
+			}
+		}
+	}
+	v.swept += v.heap.Sweep()
+}
+
+// gcTick advances the collector after each quantum.
+func (v *VM) gcTick() {
+	if v.marker == nil {
+		return
+	}
+	if v.marker.MarkingActive() {
+		if v.marker.Step(v.cfg.MarkStepBudget) {
+			v.finishCycle()
+			if v.cfg.ForceMarkingAlways {
+				v.startCycle()
+			}
+		}
+		return
+	}
+	if v.cfg.ForceMarkingAlways {
+		v.startCycle()
+		return
+	}
+	if v.cfg.TriggerEveryAllocs > 0 && v.allocSinceGC >= v.cfg.TriggerEveryAllocs {
+		v.startCycle()
+	}
+}
+
+func (v *VM) errf(f *frame, format string, args ...any) error {
+	line := 0
+	if f.pc < len(f.m.Code) {
+		line = f.m.Code[f.pc].Line
+	}
+	return &RuntimeError{Method: f.m.QualifiedName(), PC: f.pc, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// runQuantum executes up to Quantum instructions on one thread.
+func (v *VM) runQuantum(t *thread) error {
+	for i := 0; i < v.cfg.Quantum; i++ {
+		if len(t.frames) == 0 {
+			t.done = true
+			return nil
+		}
+		if v.steps >= v.maxSteps {
+			return fmt.Errorf("vm: instruction budget exhausted (%d)", v.maxSteps)
+		}
+		if err := v.step(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one instruction of the thread's top frame.
+func (v *VM) step(t *thread) error {
+	f := t.frames[len(t.frames)-1]
+	if f.pc >= len(f.m.Code) {
+		return v.errf(f, "pc past end of method")
+	}
+	in := &f.m.Code[f.pc]
+	v.steps++
+
+	push := func(val heap.Value) { f.stack = append(f.stack, val) }
+	pop := func() heap.Value {
+		val := f.stack[len(f.stack)-1]
+		f.stack = f.stack[:len(f.stack)-1]
+		return val
+	}
+
+	switch in.Op {
+	case bytecode.OpNop:
+	case bytecode.OpConst, bytecode.OpConstBool:
+		push(heap.IntVal(in.A))
+	case bytecode.OpConstNull:
+		push(heap.NullVal())
+	case bytecode.OpLoad:
+		push(f.locals[in.A])
+	case bytecode.OpStore:
+		f.locals[in.A] = pop()
+	case bytecode.OpDup:
+		push(f.stack[len(f.stack)-1])
+	case bytecode.OpPop:
+		pop()
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpRem:
+		y, x := pop().I, pop().I
+		var r int64
+		switch in.Op {
+		case bytecode.OpAdd:
+			r = x + y
+		case bytecode.OpSub:
+			r = x - y
+		case bytecode.OpMul:
+			r = x * y
+		case bytecode.OpDiv:
+			if y == 0 {
+				return v.errf(f, "division by zero")
+			}
+			r = x / y
+		case bytecode.OpRem:
+			if y == 0 {
+				return v.errf(f, "division by zero")
+			}
+			r = x % y
+		}
+		push(heap.IntVal(r))
+	case bytecode.OpNeg:
+		push(heap.IntVal(-pop().I))
+	case bytecode.OpAnd:
+		y, x := pop().I, pop().I
+		push(heap.IntVal(x & y))
+	case bytecode.OpOr:
+		y, x := pop().I, pop().I
+		push(heap.IntVal(x | y))
+	case bytecode.OpNot:
+		push(heap.IntVal(1 - pop().I))
+	case bytecode.OpCmpEQ, bytecode.OpCmpNE, bytecode.OpCmpLT, bytecode.OpCmpLE,
+		bytecode.OpCmpGT, bytecode.OpCmpGE:
+		y, x := pop().I, pop().I
+		var b bool
+		switch in.Op {
+		case bytecode.OpCmpEQ:
+			b = x == y
+		case bytecode.OpCmpNE:
+			b = x != y
+		case bytecode.OpCmpLT:
+			b = x < y
+		case bytecode.OpCmpLE:
+			b = x <= y
+		case bytecode.OpCmpGT:
+			b = x > y
+		case bytecode.OpCmpGE:
+			b = x >= y
+		}
+		push(heap.IntVal(b2i(b)))
+	case bytecode.OpRefEQ:
+		y, x := pop().R, pop().R
+		push(heap.IntVal(b2i(x == y)))
+	case bytecode.OpRefNE:
+		y, x := pop().R, pop().R
+		push(heap.IntVal(b2i(x != y)))
+
+	case bytecode.OpGoto:
+		f.pc = int(in.A)
+		return nil
+	case bytecode.OpIfTrue:
+		if pop().I != 0 {
+			f.pc = int(in.A)
+			return nil
+		}
+	case bytecode.OpIfFalse:
+		if pop().I == 0 {
+			f.pc = int(in.A)
+			return nil
+		}
+	case bytecode.OpIfNull:
+		if pop().R == heap.Null {
+			f.pc = int(in.A)
+			return nil
+		}
+	case bytecode.OpIfNonNull:
+		if pop().R != heap.Null {
+			f.pc = int(in.A)
+			return nil
+		}
+
+	case bytecode.OpGetField:
+		obj := pop()
+		if obj.R == heap.Null {
+			return v.errf(f, "null pointer dereference reading %s", in.Field)
+		}
+		val, err := v.heap.GetField(obj.R, in.Field)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		if v.prog.FieldType(in.Field).IsRef() {
+			val.IsRef = true
+		}
+		push(val)
+	case bytecode.OpPutField:
+		val := pop()
+		obj := pop()
+		if obj.R == heap.Null {
+			return v.errf(f, "null pointer dereference writing %s", in.Field)
+		}
+		old, err := v.heap.SetField(obj.R, in.Field, val)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		if v.prog.FieldType(in.Field).IsRef() {
+			key := satb.SiteKey{Method: f.m.QualifiedName(), PC: f.pc}
+			v.counters.Barrier(v.cfg.Barrier, v.logger(), key, satb.FieldSite,
+				elideKind(in), old.R, val.R, obj.R)
+		}
+	case bytecode.OpGetStatic:
+		val := v.heap.GetStatic(in.Field)
+		if v.prog.FieldType(in.Field).IsRef() {
+			val.IsRef = true
+		}
+		push(val)
+	case bytecode.OpPutStatic:
+		val := pop()
+		old := v.heap.SetStatic(in.Field, val)
+		if v.prog.FieldType(in.Field).IsRef() {
+			v.counters.StaticBarrier(v.cfg.Barrier, v.logger(), old.R)
+		}
+
+	case bytecode.OpNewInstance:
+		r, err := v.heap.AllocObject(in.Type.Class)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		v.allocSinceGC++
+		push(heap.RefVal(r))
+	case bytecode.OpNewArray:
+		n := pop().I
+		if n < 0 {
+			return v.errf(f, "negative array size %d", n)
+		}
+		r, err := v.heap.AllocArray(in.Type.IsRef(), n)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		v.allocSinceGC++
+		push(heap.RefVal(r))
+	case bytecode.OpArrayLength:
+		arr := pop()
+		if arr.R == heap.Null {
+			return v.errf(f, "null pointer dereference in arraylength")
+		}
+		n, err := v.heap.ArrayLen(arr.R)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		push(heap.IntVal(n))
+
+	case bytecode.OpAALoad, bytecode.OpIALoad:
+		idx := pop().I
+		arr := pop()
+		if arr.R == heap.Null {
+			return v.errf(f, "null pointer dereference in array load")
+		}
+		val, err := v.heap.GetElem(arr.R, idx)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		if in.Op == bytecode.OpAALoad {
+			val.IsRef = true
+		}
+		push(val)
+	case bytecode.OpAAStore:
+		val := pop()
+		idx := pop().I
+		arr := pop()
+		if arr.R == heap.Null {
+			return v.errf(f, "null pointer dereference in array store")
+		}
+		old, err := v.heap.SetElem(arr.R, idx, val)
+		if err != nil {
+			return v.errf(f, "%v", err)
+		}
+		key := satb.SiteKey{Method: f.m.QualifiedName(), PC: f.pc}
+		v.counters.Barrier(v.cfg.Barrier, v.logger(), key, satb.ArraySite,
+			elideKind(in), old.R, val.R, arr.R)
+	case bytecode.OpIAStore:
+		val := pop()
+		idx := pop().I
+		arr := pop()
+		if arr.R == heap.Null {
+			return v.errf(f, "null pointer dereference in array store")
+		}
+		if _, err := v.heap.SetElem(arr.R, idx, val); err != nil {
+			return v.errf(f, "%v", err)
+		}
+
+	case bytecode.OpInvoke:
+		callee := v.prog.Method(in.Method)
+		if callee == nil {
+			return v.errf(f, "unresolved method %s", in.Method)
+		}
+		nf := newFrame(callee)
+		n := callee.NumArgs()
+		for i := n - 1; i >= 0; i-- {
+			nf.locals[i] = pop()
+		}
+		if !callee.Static && nf.locals[0].R == heap.Null {
+			return v.errf(f, "null receiver calling %s", in.Method)
+		}
+		f.pc++
+		t.frames = append(t.frames, nf)
+		return nil
+	case bytecode.OpSpawn:
+		recv := pop()
+		if recv.R == heap.Null {
+			return v.errf(f, "null receiver in spawn")
+		}
+		callee := v.prog.Method(in.Method)
+		if callee == nil {
+			return v.errf(f, "unresolved method %s", in.Method)
+		}
+		nf := newFrame(callee)
+		nf.locals[0] = recv
+		v.threads = append(v.threads, &thread{frames: []*frame{nf}})
+	case bytecode.OpReturn:
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) > 0 {
+			// Caller's pc was already advanced at the invoke.
+		}
+		return nil
+	case bytecode.OpReturnValue:
+		rv := pop()
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) > 0 {
+			caller := t.frames[len(t.frames)-1]
+			caller.stack = append(caller.stack, rv)
+		}
+		return nil
+	case bytecode.OpPrint:
+		v.output = append(v.output, pop().I)
+	case bytecode.OpTrap:
+		return v.errf(f, "missing return value")
+	default:
+		return v.errf(f, "unknown opcode %v", in.Op)
+	}
+	f.pc++
+	return nil
+}
+
+// elideKind maps instruction flags to the barrier verdict.
+func elideKind(in *bytecode.Instr) satb.ElideKind {
+	switch {
+	case in.Elide:
+		return satb.ElidePreNull
+	case in.ElideNullOrSame:
+		return satb.ElideNullOrSame
+	case in.ElideRearrange:
+		return satb.ElideRearrange
+	default:
+		return satb.ElideNone
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package vm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/satb"
+)
+
+// TestBooleanOpsAndRefCompare exercises the and/or/not and refne paths.
+func TestBooleanOpsAndRefCompare(t *testing.T) {
+	out := run(t, `
+class T { int v; }
+class A {
+    static void main() {
+        boolean a = true;
+        boolean b = false;
+        if (a && !b) print(1);
+        if (a || b) print(2);
+        T x = new T();
+        T y = new T();
+        if (x != y) print(3);
+        T z = x;
+        if (x == z) print(4);
+        if (x != null) print(5);
+    }
+}
+`)
+	want := []int64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestNegativeModuloSemantics(t *testing.T) {
+	// Go-style (truncated) division and remainder, like Java.
+	out := run(t, `
+class A { static void main() {
+    print(-7 / 2);   // -3
+    print(-7 % 2);   // -1
+    print(7 % -2);   // 1
+} }
+`)
+	if !reflect.DeepEqual(out, []int64{-3, -1, 1}) {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestDeepCallStack(t *testing.T) {
+	out := run(t, `
+class A {
+    static int down(int n) { if (n == 0) return 0; return 1 + A.down(n - 1); }
+    static void main() { print(A.down(500)); }
+}
+`)
+	if !reflect.DeepEqual(out, []int64{500}) {
+		t.Errorf("output = %v", out)
+	}
+}
+
+func TestNullReceiverCall(t *testing.T) {
+	p := compileSrc(t, `
+class T { void m() { } static void main() { T t = null; t.m(); } }
+`, 0)
+	_, err := New(p, Config{}).Run()
+	if err == nil || !strings.Contains(err.Error(), "null receiver") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrapSurfacesMissingReturn(t *testing.T) {
+	// Hand-build a method that falls into its trap.
+	prog := bytecode.NewProgram()
+	cls := &bytecode.Class{Name: "T"}
+	b := bytecode.NewBuilder("T", "bad", true)
+	b.SetReturn(bytecode.Int)
+	b.Op(bytecode.OpTrap)
+	cls.Methods = append(cls.Methods, b.Build())
+	mb := bytecode.NewBuilder("T", "main", true)
+	mb.Invoke(bytecode.MethodRef{Class: "T", Name: "bad"})
+	mb.Op(bytecode.OpPop)
+	mb.Return()
+	cls.Methods = append(cls.Methods, mb.Build())
+	prog.AddClass(cls)
+	prog.Main = bytecode.MethodRef{Class: "T", Name: "main"}
+	_, err := New(prog, Config{}).Run()
+	if err == nil || !strings.Contains(err.Error(), "missing return") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForceMarkingAlways(t *testing.T) {
+	p := compileSrc(t, gcWorkload, 100)
+	res, err := New(p, Config{
+		Barrier:            satb.ModeAlwaysLog,
+		GC:                 GCSATB,
+		ForceMarkingAlways: true,
+		MarkStepBudget:     16,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 2 {
+		t.Errorf("forced marking should run many cycles, got %d", res.Cycles)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{980}) {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestResultTotalCost(t *testing.T) {
+	p := compileSrc(t, workloadSrc, 100)
+	res, err := New(p, Config{Barrier: satb.ModeAlwaysLog}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost() != uint64(res.Steps)+res.Counters.Cost {
+		t.Error("TotalCost must sum instruction and barrier cost")
+	}
+	if res.Allocated == 0 {
+		t.Error("allocation counter not maintained")
+	}
+}
+
+func TestRuntimeErrorFormatting(t *testing.T) {
+	e := &RuntimeError{Method: "T.m", PC: 4, Line: 12, Msg: "boom"}
+	s := e.Error()
+	for _, want := range []string{"T.m", "pc 4", "line 12", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("error %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package vm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/codegen"
+	"satbelim/internal/core"
+	"satbelim/internal/inline"
+	"satbelim/internal/minijava"
+	"satbelim/internal/satb"
+	"satbelim/internal/verifier"
+)
+
+// compileSrc compiles MiniJava source at the given inline level.
+func compileSrc(t *testing.T, src string, inlineLimit int) *bytecode.Program {
+	t.Helper()
+	ast, err := minijava.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ch, err := minijava.Check("t.mj", ast)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p, err := codegen.Compile(ch)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p = inline.Apply(p, inline.Options{Limit: inlineLimit}).Program
+	if err := verifier.VerifyProgram(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string) []int64 {
+	t.Helper()
+	p := compileSrc(t, src, 0)
+	res, err := New(p, Config{}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Output
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	out := run(t, `
+class A {
+    static void main() {
+        print(2 + 3 * 4);          // 14
+        print((2 + 3) * 4);        // 20
+        print(17 / 5);             // 3
+        print(17 % 5);             // 2
+        print(-7);                 // -7
+        int s = 0;
+        for (int i = 1; i <= 10; i = i + 1) s = s + i;
+        print(s);                  // 55
+        int f = 1;
+        int i = 5;
+        while (i > 1) { f = f * i; i = i - 1; }
+        print(f);                  // 120
+        if (3 < 4 && !(2 == 3)) print(1); else print(0); // 1
+        if (3 > 4 || false) print(1); else print(0);     // 0
+    }
+}
+`)
+	want := []int64{14, 20, 3, 2, -7, 55, 120, 1, 0}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	out := run(t, `
+class A {
+    static int fib(int n) { if (n < 2) return n; return A.fib(n-1) + A.fib(n-2); }
+    static void main() { print(A.fib(10)); }
+}
+`)
+	if !reflect.DeepEqual(out, []int64{55}) {
+		t.Errorf("fib output = %v", out)
+	}
+}
+
+func TestObjectsAndLinkedList(t *testing.T) {
+	out := run(t, `
+class Node {
+    int v; Node next;
+    Node(int v0, Node n) { v = v0; next = n; }
+}
+class A {
+    static void main() {
+        Node head = null;
+        for (int i = 1; i <= 5; i = i + 1) head = new Node(i, head);
+        int s = 0;
+        Node c = head;
+        while (c != null) { s = s + c.v; c = c.next; }
+        print(s); // 15
+    }
+}
+`)
+	if !reflect.DeepEqual(out, []int64{15}) {
+		t.Errorf("list sum = %v", out)
+	}
+}
+
+func TestArraysAnd2D(t *testing.T) {
+	out := run(t, `
+class A {
+    static void main() {
+        int[] xs = new int[5];
+        for (int i = 0; i < xs.length; i = i + 1) xs[i] = i * i;
+        print(xs[4]); // 16
+        int[][] g = new int[3][];
+        for (int i = 0; i < 3; i = i + 1) {
+            g[i] = new int[3];
+            for (int j = 0; j < 3; j = j + 1) g[i][j] = i * 3 + j;
+        }
+        print(g[2][2]); // 8
+        boolean[] bs = new boolean[2];
+        bs[1] = true;
+        if (bs[1] && !bs[0]) print(1); // 1
+    }
+}
+`)
+	if !reflect.DeepEqual(out, []int64{16, 8, 1}) {
+		t.Errorf("arrays = %v", out)
+	}
+}
+
+func TestStaticsAndMethods(t *testing.T) {
+	out := run(t, `
+class Counter {
+    static int n;
+    static void inc() { n = n + 1; }
+    static int get() { return n; }
+}
+class A {
+    static void main() {
+        Counter.inc();
+        Counter.inc();
+        Counter.inc();
+        print(Counter.get()); // 3
+    }
+}
+`)
+	if !reflect.DeepEqual(out, []int64{3}) {
+		t.Errorf("statics = %v", out)
+	}
+}
+
+func TestSpawnedThreadRuns(t *testing.T) {
+	out := run(t, `
+class Flag { static int done; }
+class W {
+    void run() { Flag.done = 41; }
+}
+class A {
+    static void main() {
+        W w = new W();
+        spawn w.run();
+        // Busy-wait cooperatively until the spawned thread sets the flag.
+        int guard = 0;
+        while (Flag.done == 0 && guard < 100000) { guard = guard + 1; }
+        print(Flag.done + 1); // 42
+    }
+}
+`)
+	if !reflect.DeepEqual(out, []int64{42}) {
+		t.Errorf("spawn = %v", out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"npe", `class T { T f; static void main() { T t = null; t.f = null; } }`, "null pointer"},
+		{"div0", `class A { static void main() { int x = 0; print(1 / x); } }`, "division by zero"},
+		{"bounds", `class A { static void main() { int[] a = new int[2]; a[2] = 1; } }`, "out of bounds"},
+		{"negsize", `class A { static void main() { int n = 0 - 3; int[] a = new int[n]; } }`, "negative array size"},
+		{"nullarr", `class A { static void main() { int[] a = null; print(a.length); } }`, "null pointer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := compileSrc(t, c.src, 0)
+			_, err := New(p, Config{}).Run()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	p := compileSrc(t, `class A { static void main() { while (true) { } } }`, 0)
+	_, err := New(p, Config{MaxSteps: 1000}).Run()
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// workloadSrc exercises objects, arrays, loops, calls and statics at once.
+const workloadSrc = `
+class Item {
+    int v; Item next;
+    Item(int v0) { v = v0; }
+}
+class Box {
+    Item[] items;
+    int n;
+    Box(int cap) { items = new Item[cap]; }
+    void add(Item it) { items[n] = it; n = n + 1; }
+    int sum() {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) s = s + items[i].v;
+        return s;
+    }
+}
+class A {
+    static void main() {
+        Box b = new Box(64);
+        for (int i = 0; i < 64; i = i + 1) b.add(new Item(i));
+        print(b.sum()); // 2016
+    }
+}
+`
+
+func TestInlineLevelsPreserveSemantics(t *testing.T) {
+	var first []int64
+	for _, limit := range []int{0, 25, 50, 100, 200} {
+		p := compileSrc(t, workloadSrc, limit)
+		res, err := New(p, Config{}).Run()
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		if first == nil {
+			first = res.Output
+			if !reflect.DeepEqual(first, []int64{2016}) {
+				t.Fatalf("base output = %v", first)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res.Output, first) {
+			t.Errorf("limit %d changed output: %v vs %v", limit, res.Output, first)
+		}
+	}
+}
+
+func TestBarrierModesPreserveSemanticsAndOrderCosts(t *testing.T) {
+	p := compileSrc(t, workloadSrc, 100)
+	costs := map[satb.BarrierMode]uint64{}
+	for _, mode := range []satb.BarrierMode{satb.ModeNoBarrier, satb.ModeConditional, satb.ModeAlwaysLog, satb.ModeCardMarking} {
+		res, err := New(p, Config{Barrier: mode}).Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !reflect.DeepEqual(res.Output, []int64{2016}) {
+			t.Errorf("%v output = %v", mode, res.Output)
+		}
+		costs[mode] = res.TotalCost()
+	}
+	if !(costs[satb.ModeNoBarrier] < costs[satb.ModeAlwaysLog]) {
+		t.Errorf("no-barrier (%d) should be cheaper than always-log (%d)", costs[satb.ModeNoBarrier], costs[satb.ModeAlwaysLog])
+	}
+	if !(costs[satb.ModeNoBarrier] < costs[satb.ModeConditional]) {
+		t.Errorf("no-barrier should be cheaper than conditional")
+	}
+}
+
+func TestElisionReducesCost(t *testing.T) {
+	p := compileSrc(t, workloadSrc, 100)
+	res0, err := New(p, Config{Barrier: satb.ModeAlwaysLog}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.AnalyzeProgram(p, core.Options{Mode: core.ModeFieldArray}); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := New(p, Config{Barrier: satb.ModeAlwaysLog}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res1.Counters.Cost < res0.Counters.Cost) {
+		t.Errorf("elision should cut barrier cost: %d -> %d", res0.Counters.Cost, res1.Counters.Cost)
+	}
+	sum := res1.Counters.Summarize()
+	if sum.ElidedExecs == 0 {
+		t.Error("expected some elided executions")
+	}
+	if len(sum.UnsoundSites) != 0 {
+		t.Errorf("unsound elisions: %v", sum.UnsoundSites)
+	}
+}
+
+// gcWorkload allocates heavily and drops references so sweeps reclaim.
+const gcWorkload = `
+class Node { int v; Node next; Node(int v0) { v = v0; } }
+class A {
+    static Node keep;
+    static void main() {
+        int total = 0;
+        for (int round = 0; round < 20; round = round + 1) {
+            Node head = null;
+            for (int i = 0; i < 50; i = i + 1) {
+                Node n = new Node(i);
+                n.next = head;
+                head = n;
+            }
+            A.keep = head; // previous round's list becomes garbage
+            total = total + head.v;
+        }
+        print(total); // 20 * 49 = 980
+    }
+}
+`
+
+func TestSATBGCCollectsAndPreservesInvariant(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("SATB invariant violated: %v", r)
+		}
+	}()
+	p := compileSrc(t, gcWorkload, 100)
+	if _, err := core.AnalyzeProgram(p, core.Options{Mode: core.ModeFieldArray}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(p, Config{
+		Barrier:            satb.ModeConditional,
+		GC:                 GCSATB,
+		TriggerEveryAllocs: 100,
+		MarkStepBudget:     8,
+		Quantum:            32,
+		CheckInvariant:     true,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{980}) {
+		t.Errorf("output = %v", res.Output)
+	}
+	if res.Cycles == 0 {
+		t.Error("expected at least one marking cycle")
+	}
+	if res.Swept == 0 {
+		t.Error("expected garbage to be swept")
+	}
+	sum := res.Counters.Summarize()
+	if len(sum.UnsoundSites) != 0 {
+		t.Errorf("unsound elisions under concurrent marking: %v", sum.UnsoundSites)
+	}
+}
+
+func TestIncrementalGCCollectsToo(t *testing.T) {
+	p := compileSrc(t, gcWorkload, 100)
+	res, err := New(p, Config{
+		Barrier:            satb.ModeCardMarking,
+		GC:                 GCIncremental,
+		TriggerEveryAllocs: 100,
+		MarkStepBudget:     8,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{980}) {
+		t.Errorf("output = %v", res.Output)
+	}
+	if res.Swept == 0 {
+		t.Error("expected garbage to be swept")
+	}
+}
+
+func TestSATBFinalPauseSmallerThanIncremental(t *testing.T) {
+	p := compileSrc(t, gcWorkload, 100)
+	runWith := func(kind GCKind, mode satb.BarrierMode) *Result {
+		res, err := New(p, Config{
+			Barrier:            mode,
+			GC:                 kind,
+			TriggerEveryAllocs: 200,
+			MarkStepBudget:     4,
+		}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rs := runWith(GCSATB, satb.ModeConditional)
+	ri := runWith(GCIncremental, satb.ModeCardMarking)
+	if rs.Cycles == 0 || ri.Cycles == 0 {
+		t.Fatalf("cycles: satb=%d inc=%d", rs.Cycles, ri.Cycles)
+	}
+	satbPause := float64(rs.FinalPauseWork) / float64(rs.Cycles)
+	incPause := float64(ri.FinalPauseWork) / float64(ri.Cycles)
+	if satbPause >= incPause {
+		t.Errorf("SATB mean final pause (%.1f) should be below incremental update's (%.1f)", satbPause, incPause)
+	}
+}
+
+func TestSpawnedThreadSharedObjectSoundness(t *testing.T) {
+	// A multi-threaded mutator with concurrent marking: the spawned
+	// thread mutates shared structures; the analysis must not have
+	// elided anything that breaks the snapshot invariant.
+	src := `
+class Shared { static Node head; static int done; }
+class Node { int v; Node next; Node(int v0) { v = v0; } }
+class W {
+    void run() {
+        // Unlink every other node.
+        Node c = Shared.head;
+        while (c != null && c.next != null) {
+            c.next = c.next.next;
+            c = c.next;
+        }
+        Shared.done = 1;
+    }
+}
+class A {
+    static void main() {
+        Node head = null;
+        for (int i = 0; i < 100; i = i + 1) {
+            Node n = new Node(i);
+            n.next = head;
+            head = n;
+        }
+        Shared.head = head;
+        W w = new W();
+        spawn w.run();
+        int guard = 0;
+        int churn = 0;
+        while (Shared.done == 0 && guard < 1000000) {
+            guard = guard + 1;
+            Node extra = new Node(guard);
+            extra.next = null;
+            churn = churn + extra.v;
+        }
+        print(Shared.done);
+    }
+}
+`
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("SATB invariant violated with threads: %v", r)
+		}
+	}()
+	p := compileSrc(t, src, 100)
+	if _, err := core.AnalyzeProgram(p, core.Options{Mode: core.ModeFieldArray}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(p, Config{
+		Barrier:            satb.ModeConditional,
+		GC:                 GCSATB,
+		TriggerEveryAllocs: 50,
+		MarkStepBudget:     4,
+		Quantum:            16,
+		CheckInvariant:     true,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, []int64{1}) {
+		t.Errorf("output = %v", res.Output)
+	}
+	if s := res.Counters.Summarize(); len(s.UnsoundSites) != 0 {
+		t.Errorf("unsound: %v", s.UnsoundSites)
+	}
+}

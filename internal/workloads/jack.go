@@ -1,0 +1,132 @@
+package workloads
+
+// Jack models the SPECjvm98 parser generator: a lexing phase producing
+// token objects (eliminable constructor stores), grammar productions whose
+// right-hand sides live in escaped arrays (kept array stores), a
+// first-set propagation pass mutating escaped productions (kept field
+// stores), and the token-cache recopy idiom that is null-or-same (§4.3's
+// ~14% for jack).
+func Jack() *Workload {
+	return &Workload{
+		Name:        "jack",
+		Description: "parser generator: lexer tokens, grammar tables, first-set passes",
+		Paper: PaperRow{
+			TotalMillions: 10.7, ElimPct: 41.0, PotPreNullPct: 54.0,
+			FieldPct: 74, ArrayPct: 26, FieldElimPct: 55.5, ArrayElimPct: 0.0,
+		},
+		NullOrSamePaperPct: 14,
+		Source:             jackSource,
+	}
+}
+
+const jackSource = `
+// jack: parser-generator workload.
+class Token {
+    int kind;
+    int pos;
+    Token next;
+    Token alt;
+    Token(int k, int p) {
+        kind = k;
+        pos = p;
+    }
+}
+
+class Production {
+    int lhs;
+    Token firstSet;
+    Production link;
+    Production(int l) {
+        lhs = l;
+    }
+}
+
+class Grammar {
+    static Production[] table;
+    static Token[] stream;
+    static int streamLen;
+    static int parses;
+}
+
+class Jack {
+    // Lex one "file": a burst of tokens chained locally, then appended
+    // into the shared stream (array stores kept).
+    static Token lex(int seed, int count) {
+        Token head = null;
+        Token prevAlt = null;
+        for (int i = 0; i < count; i = i + 1) {
+            Token t = new Token((seed + i) % 11, i);
+            t.next = head;       // caller-side init (inlining-gated)
+            t.alt = prevAlt;     // caller-side init (inlining-gated)
+            head = t;
+            prevAlt = t;
+            Grammar.stream[Grammar.streamLen] = t;   // escaped: kept
+            Grammar.streamLen = Grammar.streamLen + 1;
+        }
+        return head;
+    }
+
+    // The token-cache idiom: scan ahead for a non-null cached token and
+    // write it back — the write either rewrites the same token or the
+    // cache slot stays as it was (null-or-same on a thread-local cache).
+    static int cachedScan(Token head, int want) {
+        Token cache = new Token(0 - 1, 0 - 1);
+        int hits = 0;
+        Token c = head;
+        while (c != null) {
+            Token e = cache.next;
+            if (e == null) {
+                cache.next = c;      // first fill: pre-null (eliminable)
+                e = c;
+            } else {
+                if (c.pos % 2 == 0) {
+                    cache.next = e;  // recopy: null-or-same
+                }
+            }
+            if (e.kind == want) {
+                hits = hits + 1;
+            }
+            c = c.next;
+        }
+        return hits;
+    }
+
+    // First-set propagation mutates a slice of the escaped production
+    // table: kept barriers.
+    static void propagate(Token tokens, int from) {
+        for (int i = from; i < from + 16 && i < Grammar.table.length; i = i + 1) {
+            Production p = Grammar.table[i];
+            if (p != null && tokens != null) {
+                p.firstSet = tokens;     // escaped object: kept
+                if (p.link != null) {
+                    p.link.firstSet = tokens;  // kept
+                }
+            }
+        }
+    }
+
+    static void main() {
+        Grammar.table = new Production[24];
+        Grammar.stream = new Token[8192];
+        Production chain = null;
+        for (int i = 0; i < Grammar.table.length; i = i + 1) {
+            Production p = new Production(i);
+            p.link = chain;               // caller-side init
+            chain = p;
+            Grammar.table[i] = chain;     // escaped: kept
+        }
+        int checksum = 0;
+        for (int file = 0; file < 40; file = file + 1) {
+            Token toks = lex(file * 17, 40);
+            checksum = checksum + cachedScan(toks, 3);
+            propagate(toks, file % 8);
+            if (Grammar.streamLen > 6000) {
+                Grammar.stream = new Token[8192];
+                Grammar.streamLen = 0;
+            }
+            Grammar.parses = Grammar.parses + 1;
+        }
+        print(checksum + Grammar.parses);
+    }
+}
+`

@@ -1,0 +1,159 @@
+package workloads
+
+// JBB models SPECjbb2000: warehouses with districts processing order
+// transactions. Order construction initializes fresh objects (eliminable
+// field stores), but most field traffic updates resident, escaped
+// structures (customer/district bookkeeping — kept), and the array
+// traffic is dominated by the §4.3 "delete one element by moving all
+// higher elements down" idiom in the new-order queue, which is never
+// pre-null. A small null-or-same component (~4%) comes from order
+// revalidation recopies.
+func JBB() *Workload {
+	return &Workload{
+		Name:        "jbb",
+		Description: "warehouse transactions: new-order queue with move-down deletes",
+		Paper: PaperRow{
+			TotalMillions: 297.8, ElimPct: 25.6, PotPreNullPct: 53.4,
+			FieldPct: 69, ArrayPct: 31, FieldElimPct: 37.0, ArrayElimPct: 0.0,
+		},
+		NullOrSamePaperPct: 4,
+		Source:             jbbSource,
+	}
+}
+
+const jbbSource = `
+// jbb: warehouse transaction workload.
+class Item {
+    int id;
+    int qty;
+    Item(int i, int q) { id = i; qty = q; }
+}
+
+class Customer {
+    int id;
+    Order lastOrder;
+    Customer next;
+    Customer(int i, Customer n) {
+        id = i;
+        next = n;       // initializing (eliminable)
+    }
+}
+
+class Order {
+    int id;
+    Item[] lines;
+    Customer cust;
+    District home;
+    Order chain;
+    Order(int i) {
+        id = i;
+        lines = new Item[1];   // initializing in-ctor store (eliminable
+                               // standalone, §2.3)
+    }
+}
+
+class District {
+    int id;
+    Order[] newOrders;
+    int queued;
+    Order chainHead;
+    Order lastDelivered;
+    Customer customers;
+    Customer lastCustomer;
+    int delivered;
+    District(int i, Customer cs) {
+        id = i;
+        newOrders = new Order[16];  // initializing (eliminable)
+        customers = cs;             // initializing (eliminable)
+    }
+}
+
+class Company {
+    static District[] districts;
+    static int txCount;
+    static int checksum;
+}
+
+class JBB {
+    static Customer pickCustomer(District d, int salt) {
+        Customer c = d.customers;
+        int hop = salt % 5;
+        while (hop > 0 && c.next != null) {
+            c = c.next;
+            hop = hop - 1;
+        }
+        return c;
+    }
+
+    // think models per-transaction business logic (tax, discount and
+    // totals arithmetic): it keeps the barrier cost a small fraction of
+    // total work, as in a real transaction server.
+    static int think(int seed) {
+        int acc = seed;
+        for (int i = 0; i < 300; i = i + 1) {
+            acc = (acc * 31 + 7) % 99991;
+        }
+        return acc;
+    }
+
+    static void newOrder(District d, int tx) {
+        Customer c = pickCustomer(d, tx);
+        Order o = new Order(tx);
+        o.cust = c;                     // caller-side init (inlining-gated)
+        o.home = d;                     // caller-side init (inlining-gated)
+        if (tx % 2 == 0) {
+            o.cust = o.cust;            // revalidation recopy: null-or-same
+        }
+        Company.checksum = Company.checksum + think(tx);
+        d.newOrders[d.queued] = o;      // escaped queue: kept
+        d.queued = d.queued + 1;
+        // Populate the line after the order is registered (escaped): kept.
+        o.lines[0] = new Item(tx, 1);
+        // Resident-object bookkeeping: kept barriers.
+        c.lastOrder = o;
+        o.chain = d.chainHead;
+        d.chainHead = o;
+        d.lastDelivered = o;
+        d.lastCustomer = c;
+        Company.txCount = Company.txCount + 1;
+    }
+
+    // Deliver the oldest order: the paper's move-down deletion loop —
+    // every store overwrites a non-null element.
+    static void deliver(District d) {
+        if (d.queued == 0) {
+            return;
+        }
+        Order first = d.newOrders[0];
+        for (int j = 0; j < d.queued - 1; j = j + 1) {
+            d.newOrders[j] = d.newOrders[j + 1];   // move down: kept
+        }
+        d.queued = d.queued - 1;
+        d.newOrders[d.queued] = null;              // clear tail: kept
+        d.delivered = d.delivered + first.id;
+    }
+
+    static void main() {
+        Company.districts = new District[4];
+        for (int i = 0; i < 4; i = i + 1) {
+            Customer cs = null;
+            for (int k = 0; k < 6; k = k + 1) {
+                cs = new Customer(i * 10 + k, cs);
+            }
+            Company.districts[i] = new District(i, cs);
+        }
+        for (int tx = 0; tx < 600; tx = tx + 1) {
+            District d = Company.districts[tx % 4];
+            newOrder(d, tx);
+            if (d.queued > 2) {
+                deliver(d);
+            }
+        }
+        int sum = 0;
+        for (int i = 0; i < 4; i = i + 1) {
+            sum = sum + Company.districts[i].delivered;
+        }
+        print(sum + Company.txCount);
+    }
+}
+`

@@ -1,0 +1,150 @@
+package workloads
+
+// Mtrt models the SPECjvm98 multi-threaded ray tracer: two spawned worker
+// threads render interleaved rows. Per pixel a Ray and a Hit are
+// allocated and initialized (eliminable field stores), row-local ray and
+// hit buffers are filled in order (eliminable array stores — mtrt is the
+// paper's array-analysis success case), and results land in shared,
+// escaped buffers (kept). Array stores outnumber field stores (~41/59).
+func Mtrt() *Workload {
+	return &Workload{
+		Name:        "mtrt",
+		Description: "multi-threaded ray tracer: per-row buffers, shared framebuffer",
+		Paper: PaperRow{
+			TotalMillions: 3.0, ElimPct: 61.9, PotPreNullPct: 91.6,
+			FieldPct: 41, ArrayPct: 59, FieldElimPct: 72.0, ArrayElimPct: 54.7,
+		},
+		Source: mtrtSource,
+	}
+}
+
+const mtrtSource = `
+// mtrt: multi-threaded ray tracer workload.
+class Vec {
+    int x; int y; int z;
+    Vec(int x0, int y0, int z0) { x = x0; y = y0; z = z0; }
+}
+
+class Sphere {
+    Vec center;
+    int radius;
+    Sphere next;
+    Sphere(int r) {
+        radius = r;
+    }
+}
+
+class Ray {
+    int id;
+    Vec origin;
+    Vec dir;
+    Ray(int id0) {
+        id = id0;
+    }
+}
+
+class Hit {
+    Sphere obj;
+    int dist;
+    Hit(int d) {
+        dist = d;
+    }
+}
+
+class Stats {
+    Hit lastHit;
+    int count;
+}
+
+class Scene {
+    static Sphere spheres;
+    static Hit[][] frame;      // shared framebuffer rows
+    static Stats stats;        // shared render statistics
+    static int width;
+    static int doneA;
+    static int doneB;
+    static int checksum;
+
+    static Hit trace(Ray r, int px) {
+        Sphere s = Scene.spheres;
+        Sphere best = null;
+        int bestD = 1000000;
+        while (s != null) {
+            int d = r.dir.x * px + s.center.x * s.center.x + s.radius;
+            if (d % 97 < bestD % 97) {
+                best = s;
+                bestD = d;
+            }
+            s = s.next;
+        }
+        Hit h = new Hit(bestD);
+        h.obj = best;   // caller-side init (inlining-gated)
+        return h;
+    }
+}
+
+class Worker {
+    int id;
+    int step;
+    Hit[] scratch;
+    Hit[] prev;
+    Worker(int i, int s) { id = i; step = s; }
+
+    void run() {
+        int w = Scene.width;
+        int row = id;
+        while (row < Scene.frame.length) {
+            Hit[] hits = new Hit[w];     // row-local buffer
+            Ray[] rays = new Ray[w];     // row-local buffer
+            // Fresh sample buffers registered on this (escaped, spawned)
+            // worker before filling: the fills are dynamically pre-null
+            // but the buffers are reachable by other threads, so the
+            // barriers stay — they feed the pre-null upper bound.
+            this.scratch = new Hit[w];
+            this.prev = new Hit[w];
+            Vec origin = new Vec(0, 0, row);
+            for (int px = 0; px < w; px = px + 1) {
+                Ray r = new Ray(px);
+                r.origin = origin;               // caller-side init
+                r.dir = new Vec(px, row, 1);     // caller-side init
+                rays[px] = r;                    // in-order init: eliminable
+                Hit h = Scene.trace(r, px);
+                hits[px] = h;                    // in-order init: eliminable
+                this.scratch[px] = h;            // escaped buffer: kept
+                this.prev[px] = h;               // escaped buffer: kept
+                Scene.stats.lastHit = h;         // escaped object: kept
+            }
+            Scene.frame[row] = hits;             // publish row: kept
+            Scene.checksum = Scene.checksum + hits[w - 1].dist + rays[0].dir.x;
+            row = row + step;
+        }
+        if (id == 0) { Scene.doneA = 1; } else { Scene.doneB = 1; }
+    }
+}
+
+class Mtrt {
+    static void main() {
+        Scene.width = 48;
+        Scene.frame = new Hit[40][];
+        Scene.stats = new Stats();
+        Sphere list = null;
+        for (int i = 0; i < 8; i = i + 1) {
+            Sphere s = new Sphere(i + 1);
+            s.center = new Vec(i, i * 2, i * 3);  // caller-side init
+            s.next = list;                        // caller-side init
+            list = s;
+        }
+        Scene.spheres = list;
+
+        Worker a = new Worker(0, 2);
+        Worker b = new Worker(1, 2);
+        spawn a.run();
+        spawn b.run();
+        int guard = 0;
+        while (Scene.doneA + Scene.doneB < 2 && guard < 10000000) {
+            guard = guard + 1;
+        }
+        print(Scene.checksum % 100000);
+    }
+}
+`

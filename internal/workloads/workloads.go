@@ -1,0 +1,57 @@
+// Package workloads provides the six MiniJava benchmark programs standing
+// in for SPECjvm98 (jess, db, javac, mtrt, jack) and SPECjbb2000 (jbb) in
+// the paper's evaluation. Each program is written to reproduce the store
+// *character* of its namesake — the field/array split and the fraction of
+// initializing (pre-null) stores the paper reports in Table 1 — so that
+// the analyses face the same kinds of opportunities. The absolute
+// iteration counts are scaled to interpreter speed.
+package workloads
+
+import "fmt"
+
+// PaperRow is a row of the paper's Table 1 (dynamic results), kept for
+// side-by-side reporting in EXPERIMENTS.md.
+type PaperRow struct {
+	TotalMillions float64 // barrier executions ×10⁶ on the paper's setup
+	ElimPct       float64
+	PotPreNullPct float64
+	FieldPct      float64 // field share of executions
+	ArrayPct      float64
+	FieldElimPct  float64
+	ArrayElimPct  float64
+}
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Description string
+	Source      string
+	Paper       PaperRow
+	// NullOrSamePaperPct is the §4.3 hand-measured share of executions
+	// at null-or-same sites (0 when the paper reports none).
+	NullOrSamePaperPct float64
+}
+
+// All returns the six workloads in the paper's Table 1 order.
+func All() []*Workload {
+	return []*Workload{Jess(), DB(), Javac(), Mtrt(), Jack(), JBB()}
+}
+
+// Get returns a workload by name.
+func Get(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists the workload names in order.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
