@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"satbelim/internal/core"
 	"satbelim/internal/pipeline"
@@ -223,6 +224,37 @@ func BenchmarkAnalysisScaling_100(b *testing.B) { benchAnalysisScaling(b, 100) }
 func BenchmarkAnalysisScaling_200(b *testing.B) { benchAnalysisScaling(b, 200) }
 func BenchmarkAnalysisScaling_400(b *testing.B) { benchAnalysisScaling(b, 400) }
 func BenchmarkAnalysisScaling_800(b *testing.B) { benchAnalysisScaling(b, 800) }
+
+// benchPipelineWorkers times the full pipeline over all six workloads at
+// a fixed fan-out width. Comparing the _1/_2/_4/_8 variants gives the
+// parallel-speedup curve of the per-method verify+analysis stages; the
+// frontend and inliner stay sequential, so this is the end-to-end
+// (Amdahl-limited) number rather than the analysis-only one.
+func benchPipelineWorkers(b *testing.B, workers int) {
+	opts := pipeline.Options{
+		InlineLimit: report.DefaultInlineLimit,
+		Analysis:    core.Options{Mode: core.ModeFieldArray},
+		Workers:     workers,
+	}
+	var analysis time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis = 0
+		for _, w := range workloads.All() {
+			bd, err := pipeline.Compile(w.Name, w.Source, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			analysis += bd.VerifyTime + bd.AnalysisTime
+		}
+	}
+	b.ReportMetric(float64(analysis.Nanoseconds()), "parStageNs/op")
+}
+
+func BenchmarkPipelineWorkers_1(b *testing.B) { benchPipelineWorkers(b, 1) }
+func BenchmarkPipelineWorkers_2(b *testing.B) { benchPipelineWorkers(b, 2) }
+func BenchmarkPipelineWorkers_4(b *testing.B) { benchPipelineWorkers(b, 4) }
+func BenchmarkPipelineWorkers_8(b *testing.B) { benchPipelineWorkers(b, 8) }
 
 // benchAblation measures mode-A elimination across all workloads under
 // one ablated analysis configuration (DESIGN.md §5).

@@ -1,21 +1,43 @@
 // Command satbbench regenerates the paper's evaluation artifacts over the
 // built-in workload suite: Table 1 (dynamic eliminations), Table 2 (jbb
 // end-to-end barrier cost), Figure 2 (inline-limit sweep), Figure 3
-// (compiled code size), and the §4.3 null-or-same measurements.
+// (compiled code size), the §4.3 null-or-same measurements, and the
+// compile-side performance snapshot (per-stage times + fixed-point block
+// visits).
+//
+// With -json FILE every computed section is additionally written as a
+// machine-readable JSON document (e.g. BENCH_satb.json), so the perf
+// trajectory can be compared across revisions.
 //
 // Usage:
 //
 //	satbbench -all
 //	satbbench -table1 -fig3
+//	satbbench -all -json BENCH_satb.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"satbelim/internal/report"
 )
+
+// jsonResults is the -json document: one optional section per experiment.
+type jsonResults struct {
+	InlineLimit     int                    `json:"inline_limit"`
+	Workers         int                    `json:"workers"`
+	Perf            []report.PerfRow       `json:"perf,omitempty"`
+	Table1          []report.Table1Row     `json:"table1,omitempty"`
+	Table2          []report.Table2Row     `json:"table2,omitempty"`
+	Figure2         []report.Fig2Point     `json:"figure2,omitempty"`
+	Figure3         []report.Fig3Row       `json:"figure3,omitempty"`
+	NullOrSame      []report.NullOrSameRow `json:"null_or_same,omitempty"`
+	Rearrange       []report.RearrangeRow  `json:"rearrange,omitempty"`
+	Interprocedural []report.InterprocRow  `json:"interprocedural,omitempty"`
+}
 
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
@@ -26,23 +48,37 @@ func main() {
 	nos := flag.Bool("nullorsame", false, "§4.3 null-or-same measurements")
 	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
 	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
-	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3")
+	perf := flag.Bool("perf", false, "compile-side performance snapshot (stage times, block visits)")
+	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3, perf")
+	workers := flag.Int("workers", 0, "per-method analysis fan-out (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_satb.json)")
 	flag.Parse()
 
 	if *all {
-		*t1, *t2, *f2, *f3, *nos, *rearr, *interp = true, true, true, true, true, true, true
+		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf = true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp {
-		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural]")
+	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf {
+		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-json FILE]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
+	out := &jsonResults{InlineLimit: *inlineLimit, Workers: *workers}
+
+	if *perf {
+		rows, err := report.Perf(*inlineLimit, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		out.Perf = rows
+		fmt.Println(report.FormatPerf(rows))
+	}
 	if *t1 {
 		rows, err := report.Table1(*inlineLimit)
 		if err != nil {
 			fatal(err)
 		}
+		out.Table1 = rows
 		fmt.Println(report.FormatTable1(rows))
 	}
 	if *t2 {
@@ -50,6 +86,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		out.Table2 = rows
 		fmt.Println(report.FormatTable2(rows))
 	}
 	if *f2 {
@@ -57,6 +94,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		out.Figure2 = points
 		fmt.Println(report.FormatFigure2(points))
 	}
 	if *f3 {
@@ -64,6 +102,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		out.Figure3 = rows
 		fmt.Println(report.FormatFigure3(rows))
 	}
 	if *nos {
@@ -71,6 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		out.NullOrSame = rows
 		fmt.Println(report.FormatNullOrSame(rows))
 	}
 	if *rearr {
@@ -78,6 +118,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		out.Rearrange = rows
 		fmt.Println(report.FormatRearrangement(rows))
 	}
 	if *interp {
@@ -85,7 +126,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		out.Interprocedural = rows
 		fmt.Println(report.FormatInterprocedural(rows))
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "satbbench: wrote %s\n", *jsonPath)
 	}
 }
 

@@ -26,6 +26,9 @@ type Graph struct {
 	Blocks []*Block
 	// blockOf maps each pc to its containing block id.
 	blockOf []int
+	// rpo and rpoIndex cache ReversePostorder and its inverse.
+	rpo      []int
+	rpoIndex []int
 }
 
 // Build constructs the CFG for a method.
@@ -96,8 +99,12 @@ func (g *Graph) BlockOf(pc int) int { return g.blockOf[pc] }
 // ReversePostorder returns block ids in reverse postorder from the entry,
 // the classic iteration order for forward dataflow problems. Unreachable
 // blocks are appended at the end in id order so that analyses still visit
-// them (conservatively).
+// them (conservatively). The order is computed once and cached; callers
+// must not modify the returned slice.
 func (g *Graph) ReversePostorder() []int {
+	if g.rpo != nil {
+		return g.rpo
+	}
 	seen := make([]bool, len(g.Blocks))
 	var post []int
 	var dfs func(int)
@@ -120,7 +127,25 @@ func (g *Graph) ReversePostorder() []int {
 			order = append(order, id)
 		}
 	}
+	g.rpo = order
 	return order
+}
+
+// RPOIndex returns the position of each block in ReversePostorder:
+// RPOIndex()[id] is block id's priority for worklist scheduling (lower
+// runs earlier, so predecessors tend to stabilize before successors).
+// Callers must not modify the returned slice.
+func (g *Graph) RPOIndex() []int {
+	if g.rpoIndex != nil {
+		return g.rpoIndex
+	}
+	order := g.ReversePostorder()
+	idx := make([]int, len(g.Blocks))
+	for i, id := range order {
+		idx[id] = i
+	}
+	g.rpoIndex = idx
+	return idx
 }
 
 // Reachable reports which blocks are reachable from the entry.

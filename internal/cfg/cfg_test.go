@@ -122,6 +122,145 @@ func TestUnreachableBlockStillListed(t *testing.T) {
 	}
 }
 
+func TestRPOIndexIsInverseOfOrder(t *testing.T) {
+	g, err := Build(loopMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := g.ReversePostorder()
+	idx := g.RPOIndex()
+	if len(idx) != len(g.Blocks) {
+		t.Fatalf("RPOIndex length %d, want %d", len(idx), len(g.Blocks))
+	}
+	for i, id := range order {
+		if idx[id] != i {
+			t.Errorf("RPOIndex[%d] = %d, want %d", id, idx[id], i)
+		}
+	}
+}
+
+func TestRPOLoopOrdersHeadBeforeBody(t *testing.T) {
+	g, err := Build(loopMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := g.RPOIndex()
+	// B0 (entry) < B1 (head) < B2 (body); the exit B3 comes after the
+	// head. This is the property the priority worklist relies on: a
+	// block's forward predecessors have smaller indices.
+	if !(idx[0] < idx[1] && idx[1] < idx[2]) {
+		t.Errorf("loop RPO order wrong: idx=%v", idx)
+	}
+	if idx[3] < idx[1] {
+		t.Errorf("exit scheduled before loop head: idx=%v", idx)
+	}
+}
+
+// TestRPOIrreducibleLoop builds a two-entry (irreducible) loop: the entry
+// branches into both halves of a cycle L <-> R. Every block must appear
+// exactly once and the entry must come first.
+//
+//	0: iftrue -> 3    B0 [0,1): succs B2(pc3), B1(pc1)
+//	1: nop            B1 [1,3): L
+//	2: goto -> 3      ... -> B2
+//	3: nop            B2 [3,5): R
+//	4: goto -> 1      ... -> B1
+func TestRPOIrreducibleLoop(t *testing.T) {
+	m := &bytecode.Method{Class: "T", Name: "m", Code: []bytecode.Instr{
+		{Op: bytecode.OpIfTrue, A: 3},
+		{Op: bytecode.OpNop},
+		{Op: bytecode.OpGoto, A: 3},
+		{Op: bytecode.OpNop},
+		{Op: bytecode.OpGoto, A: 1},
+	}}
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3:\n%s", len(g.Blocks), g)
+	}
+	order := g.ReversePostorder()
+	if len(order) != 3 || order[0] != 0 {
+		t.Fatalf("RPO = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("block %d repeated in RPO %v", id, order)
+		}
+		seen[id] = true
+	}
+	idx := g.RPOIndex()
+	for _, id := range order {
+		if idx[order[idx[id]]] != idx[id] {
+			t.Errorf("RPOIndex inconsistent at block %d", id)
+		}
+	}
+}
+
+// TestRPOUnreachableAppendedInIDOrder checks that blocks unreachable from
+// the entry are scheduled after every reachable block, in id order.
+//
+//	0: goto -> 5      B0: entry, jumps over the dead middle
+//	1: nop            B1: dead
+//	2: goto -> 1      ... dead self-loop
+//	3: nop            B2: dead (falls into B3? no - pc3 leader via target)
+//	4: return         ...
+//	5: return         B3: reachable exit
+func TestRPOUnreachableAppendedInIDOrder(t *testing.T) {
+	m := &bytecode.Method{Class: "T", Name: "m", Code: []bytecode.Instr{
+		{Op: bytecode.OpGoto, A: 5},
+		{Op: bytecode.OpNop},
+		{Op: bytecode.OpGoto, A: 1},
+		{Op: bytecode.OpNop},
+		{Op: bytecode.OpReturn},
+		{Op: bytecode.OpReturn},
+	}}
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reachable()
+	order := g.ReversePostorder()
+	if len(order) != len(g.Blocks) {
+		t.Fatalf("RPO misses blocks: %v of %d", order, len(g.Blocks))
+	}
+	// All reachable blocks first, then unreachable ones in ascending id.
+	firstDead := -1
+	for i, id := range order {
+		if !reach[id] && firstDead == -1 {
+			firstDead = i
+		}
+		if reach[id] && firstDead != -1 {
+			t.Fatalf("reachable block %d after unreachable in %v", id, order)
+		}
+	}
+	if firstDead == -1 {
+		t.Fatal("expected unreachable blocks in this CFG")
+	}
+	for i := firstDead; i+1 < len(order); i++ {
+		if order[i] > order[i+1] {
+			t.Errorf("unreachable tail not in id order: %v", order)
+		}
+	}
+}
+
+func TestRPOCached(t *testing.T) {
+	g, err := Build(loopMethod())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := g.ReversePostorder(), g.ReversePostorder()
+	if &o1[0] != &o2[0] {
+		t.Error("ReversePostorder should return the cached order")
+	}
+	i1, i2 := g.RPOIndex(), g.RPOIndex()
+	if &i1[0] != &i2[0] {
+		t.Error("RPOIndex should return the cached index")
+	}
+}
+
 func TestEmptyMethodRejected(t *testing.T) {
 	m := &bytecode.Method{Class: "T", Name: "m"}
 	if _, err := Build(m); err == nil {

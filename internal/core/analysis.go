@@ -222,16 +222,75 @@ func (a *analyzer) initialState() *state {
 	return s
 }
 
-// fixpoint iterates blocks to a fixed point; false means the visit budget
-// was exhausted.
+// rpoWorklist is a priority worklist over block ids ordered by
+// reverse-postorder index: pop returns the pending block earliest in RPO,
+// so a block's predecessors tend to stabilize before it is re-analyzed
+// (the classic iteration order for forward dataflow problems).
+type rpoWorklist struct {
+	prio   []int // block id -> rpo index
+	heap   []int // block ids, min-heap on prio
+	inWork []bool
+}
+
+func newRPOWorklist(rpoIndex []int) *rpoWorklist {
+	return &rpoWorklist{prio: rpoIndex, inWork: make([]bool, len(rpoIndex))}
+}
+
+func (w *rpoWorklist) push(id int) {
+	if w.inWork[id] {
+		return
+	}
+	w.inWork[id] = true
+	w.heap = append(w.heap, id)
+	i := len(w.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if w.prio[w.heap[p]] <= w.prio[w.heap[i]] {
+			break
+		}
+		w.heap[p], w.heap[i] = w.heap[i], w.heap[p]
+		i = p
+	}
+}
+
+func (w *rpoWorklist) pop() (int, bool) {
+	if len(w.heap) == 0 {
+		return 0, false
+	}
+	id := w.heap[0]
+	last := len(w.heap) - 1
+	w.heap[0] = w.heap[last]
+	w.heap = w.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && w.prio[w.heap[l]] < w.prio[w.heap[min]] {
+			min = l
+		}
+		if r < last && w.prio[w.heap[r]] < w.prio[w.heap[min]] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		w.heap[min], w.heap[i] = w.heap[i], w.heap[min]
+		i = min
+	}
+	w.inWork[id] = false
+	return id, true
+}
+
+// fixpoint iterates blocks to a fixed point in RPO priority order; false
+// means the visit budget was exhausted.
 func (a *analyzer) fixpoint() bool {
-	work := []int{0}
-	inWork := make([]bool, len(a.g.Blocks))
-	inWork[0] = true
-	for len(work) > 0 {
-		id := work[0]
-		work = work[1:]
-		inWork[id] = false
+	work := newRPOWorklist(a.g.RPOIndex())
+	work.push(0)
+	for {
+		id, ok := work.pop()
+		if !ok {
+			return true
+		}
 		a.visits++
 		if a.visits > a.maxVisits {
 			return false
@@ -258,13 +317,11 @@ func (a *analyzer) fixpoint() bool {
 			default:
 				a.entry[tgt], changed = mergeStates(a.entry[tgt], out, &a.namer, a.opts.NoStrideInference)
 			}
-			if changed && !inWork[tgt] {
-				work = append(work, tgt)
-				inWork[tgt] = true
+			if changed {
+				work.push(tgt)
 			}
 		}
 	}
-	return true
 }
 
 // judge performs the final pass: with fixed-point entry states, it
@@ -467,7 +524,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			}
 			s.push(v)
 		case bytecode.OpStore:
-			s.locals[in.A] = s.pop()
+			s.mutableLocals()[in.A] = s.pop()
 			if a.rt != nil {
 				a.rt.killSlot(int(in.A))
 			}
@@ -581,7 +638,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			// Strong update for a singleton unique reference, weak
 			// otherwise (§2.4).
 			if r, one := obj.Refs().Single(); one && a.refs.unique(r) {
-				s.sigma[sigKey{ref: r, field: field}] = val
+				s.mutableSigma()[sigKey{ref: r, field: field}] = val
 			} else {
 				obj.Refs().ForEach(func(r RefID) {
 					k := sigKey{ref: r, field: field}
@@ -589,7 +646,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 					if !ok {
 						old = defaultFor(val)
 					}
-					s.sigma[k] = weakMergeValue(old, val)
+					s.mutableSigma()[k] = weakMergeValue(old, val)
 				})
 			}
 			if a.opts.NullOrSame {
@@ -610,11 +667,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			// Fresh A name: the allocator zeroed the fields, which is
 			// exactly the σ default, so clearing any stale entries
 			// suffices.
-			for k := range s.sigma {
-				if k.ref == ra {
-					delete(s.sigma, k)
-				}
-			}
+			s.clearSigmaRef(ra)
 			s.nl = s.nl.Without(ra)
 			s.intTainted = s.intTainted.Without(ra)
 			s.push(RefValue(SingletonRef(ra)))
@@ -626,18 +679,14 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			s.renameAlloc(ra, rb)
 			// The summary B inherits no length/range facts: its members'
 			// lengths differ across the site's executions.
-			delete(s.length, rb)
-			delete(s.nr, rb)
+			s.delLength(rb)
+			s.delNR(rb)
 			if !a.opts.SingleRefPerSite {
-				for k := range s.sigma {
-					if k.ref == ra {
-						delete(s.sigma, k)
-					}
-				}
+				s.clearSigmaRef(ra)
 				s.nl = s.nl.Without(ra)
 				s.intTainted = s.intTainted.Without(ra)
-				delete(s.length, ra)
-				delete(s.nr, ra)
+				s.delLength(ra)
+				s.delNR(ra)
 				if a.trackArrays() {
 					if n.IsTop() {
 						// Unknown allocation length: name it with the
@@ -647,10 +696,10 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 						// is all the in-window judgments rely on.
 						n = intval.OfConstU(a.siteLen(pc))
 					}
-					s.length[ra] = n
+					s.mutableLength()[ra] = n
 					if in.Type.IsRef() {
 						// NR(R_A) = [0 .. n-1] (§3.3).
-						s.nr[ra] = intval.Full(intval.Const(0), n.Sub(intval.Const(1)))
+						s.mutableNR()[ra] = intval.Full(intval.Const(0), n.Sub(intval.Const(1)))
 					}
 				}
 			}
@@ -715,14 +764,14 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 				if !ok {
 					old = NullValue()
 				}
-				s.sigma[k] = weakMergeValue(old, val)
+				s.mutableSigma()[k] = weakMergeValue(old, val)
 				if a.trackArrays() {
 					if rng, ok := s.nr[r]; ok {
 						nr := rng.Contract(ind)
 						if nr.IsEmpty() {
-							delete(s.nr, r)
+							s.delNR(r)
 						} else {
-							s.nr[r] = nr
+							s.mutableNR()[r] = nr
 						}
 					}
 				}

@@ -154,8 +154,28 @@ type RefSet struct{ words []uint64 }
 // EmptyRefSet is the definitely-null reference value.
 var EmptyRefSet = RefSet{}
 
+// singletonCache interns the singleton sets for small ids. RefSet
+// operations never mutate a words slice in place, so the cached backing
+// arrays can be shared freely (including across goroutines). {GlobalRef}
+// alone is materialized on every lookup of an escaped reference, so this
+// removes the hottest allocation of the abstract interpreter.
+var singletonCache = func() [256]RefSet {
+	var c [256]RefSet
+	for r := range c {
+		w := make([]uint64, r/64+1)
+		w[r/64] = 1 << (uint(r) % 64)
+		c[r] = RefSet{words: w}
+	}
+	return c
+}()
+
 // SingletonRef returns {r}.
-func SingletonRef(r RefID) RefSet { return EmptyRefSet.With(r) }
+func SingletonRef(r RefID) RefSet {
+	if int(r) < len(singletonCache) {
+		return singletonCache[r]
+	}
+	return EmptyRefSet.With(r)
+}
 
 // Has reports membership.
 func (s RefSet) Has(r RefID) bool {

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"satbelim/internal/bytecode"
@@ -18,8 +21,21 @@ type ProgramReport struct {
 }
 
 // AnalyzeProgram analyzes every method of the program in place, setting
-// barrier-elision flags on instructions.
+// barrier-elision flags on instructions. Methods are fanned across
+// GOMAXPROCS goroutines; use AnalyzeProgramParallel to pick the width.
 func AnalyzeProgram(p *bytecode.Program, opts Options) (*ProgramReport, error) {
+	return AnalyzeProgramParallel(p, opts, 0)
+}
+
+// AnalyzeProgramParallel is AnalyzeProgram with an explicit worker count
+// (<= 0 means GOMAXPROCS). The analysis is intra-procedural after
+// inlining, so methods are independent: each worker claims methods off a
+// shared counter, and reports land in p.Methods() order regardless of
+// completion order — the report and the Elide bits set on instructions
+// are bit-identical to a sequential run. Interprocedural summaries, when
+// requested, are computed up front by the (sequential) whole-program
+// fixed point and are read-only during the fan-out.
+func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*ProgramReport, error) {
 	rep := &ProgramReport{}
 	start := time.Now()
 	if opts.Interprocedural && opts.Summaries == nil {
@@ -29,15 +45,57 @@ func AnalyzeProgram(p *bytecode.Program, opts Options) (*ProgramReport, error) {
 		}
 		opts.Summaries = sums
 	}
-	for _, m := range p.Methods() {
-		mr, err := AnalyzeMethod(p, m, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m.QualifiedName(), err)
-		}
-		rep.Methods = append(rep.Methods, mr)
+	methods := p.Methods()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(methods) {
+		workers = len(methods)
+	}
+	reps := make([]*MethodReport, len(methods))
+	errs := make([]error, len(methods))
+	if workers <= 1 {
+		for i, m := range methods {
+			reps[i], errs[i] = AnalyzeMethod(p, m, opts)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(methods) {
+						return
+					}
+					reps[i], errs[i] = AnalyzeMethod(p, methods[i], opts)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			// First failing method in program order, so the reported
+			// error does not depend on scheduling.
+			return nil, fmt.Errorf("%s: %w", methods[i].QualifiedName(), err)
+		}
+	}
+	rep.Methods = reps
 	rep.AnalysisTime = time.Since(start)
 	return rep, nil
+}
+
+// BlockVisits sums the fixed-point block visits across methods — the
+// worklist-scheduling cost metric (RPO ordering exists to shrink it).
+func (r *ProgramReport) BlockVisits() int {
+	n := 0
+	for _, m := range r.Methods {
+		n += m.BlockVisits
+	}
+	return n
 }
 
 // Totals sums the static site counts.
@@ -62,7 +120,7 @@ func (r *ProgramReport) String() string {
 	if nos > 0 {
 		fmt.Fprintf(&b, ", %d null-or-same", nos)
 	}
-	fmt.Fprintf(&b, "\nanalysis time: %v\n", r.AnalysisTime)
+	fmt.Fprintf(&b, "\nanalysis time: %v (%d block visits)\n", r.AnalysisTime, r.BlockVisits())
 	var nc []string
 	for _, m := range r.Methods {
 		if !m.Converged {

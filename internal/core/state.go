@@ -21,6 +21,14 @@ type sigKey struct {
 
 // state is the paper's program state tuple extended for arrays:
 // ⟨ρ, σ, NL, stk, Len, NR⟩.
+//
+// The container components are copy-on-write: clone shares ρ, σ, Len and
+// NR between the original and the copy, and the first mutation of a shared
+// container (through the mutable* accessors) makes a private copy. The
+// fixed point clones the entry state of a block on every visit but most
+// visits touch only a few containers, so sharing removes the bulk of the
+// per-edge cloning cost. Values, RefSets, IntVals and srcSets stored
+// inside the containers are immutable, so container-level copies suffice.
 type state struct {
 	locals []Value
 	stack  []Value
@@ -31,39 +39,121 @@ type state struct {
 	// intTainted marks references whose integer fields a summarized
 	// callee may have rewritten: integer lookups on them answer ⊤.
 	intTainted RefSet
+
+	// own* record which containers this state owns exclusively. A state
+	// built by newState owns everything; clone leaves both sides owning
+	// nothing (writes then copy first). The stack is never shared: push
+	// reuses backing-array capacity, which would alias a sharer's tail.
+	ownLocals bool
+	ownSigma  bool
+	ownLength bool
+	ownNR     bool
 }
 
 func newState(numLocals int) *state {
 	return &state{
-		locals: make([]Value, numLocals),
-		sigma:  map[sigKey]Value{},
-		length: map[RefID]intval.IntVal{},
-		nr:     map[RefID]intval.Range{},
+		locals:    make([]Value, numLocals),
+		sigma:     map[sigKey]Value{},
+		length:    map[RefID]intval.IntVal{},
+		nr:        map[RefID]intval.Range{},
+		ownLocals: true, ownSigma: true, ownLength: true, ownNR: true,
 	}
 }
 
-// clone copies the state. Values, RefSets, IntVals and srcSets are
-// immutable, so container-level copies suffice.
+// clone returns a copy sharing every container except the stack; the
+// original gives up ownership so that whichever side writes first copies.
 func (s *state) clone() *state {
-	c := &state{
-		locals:     append([]Value(nil), s.locals...),
+	s.ownLocals, s.ownSigma, s.ownLength, s.ownNR = false, false, false, false
+	return &state{
+		locals:     s.locals,
 		stack:      append([]Value(nil), s.stack...),
 		nl:         s.nl,
 		intTainted: s.intTainted,
-		sigma:      make(map[sigKey]Value, len(s.sigma)),
-		length:     make(map[RefID]intval.IntVal, len(s.length)),
-		nr:         make(map[RefID]intval.Range, len(s.nr)),
+		sigma:      s.sigma,
+		length:     s.length,
+		nr:         s.nr,
 	}
-	for k, v := range s.sigma {
-		c.sigma[k] = v
+}
+
+// mutableLocals returns the locals slice, privately copied if shared.
+// Safe only for indexed writes (never append).
+func (s *state) mutableLocals() []Value {
+	if !s.ownLocals {
+		s.locals = append([]Value(nil), s.locals...)
+		s.ownLocals = true
 	}
-	for k, v := range s.length {
-		c.length[k] = v
+	return s.locals
+}
+
+// mutableSigma returns the σ map, privately copied if shared.
+func (s *state) mutableSigma() map[sigKey]Value {
+	if !s.ownSigma {
+		m := make(map[sigKey]Value, len(s.sigma))
+		for k, v := range s.sigma {
+			m[k] = v
+		}
+		s.sigma = m
+		s.ownSigma = true
 	}
-	for k, v := range s.nr {
-		c.nr[k] = v
+	return s.sigma
+}
+
+// mutableLength returns the Len map, privately copied if shared.
+func (s *state) mutableLength() map[RefID]intval.IntVal {
+	if !s.ownLength {
+		m := make(map[RefID]intval.IntVal, len(s.length))
+		for k, v := range s.length {
+			m[k] = v
+		}
+		s.length = m
+		s.ownLength = true
 	}
-	return c
+	return s.length
+}
+
+// mutableNR returns the NR map, privately copied if shared.
+func (s *state) mutableNR() map[RefID]intval.Range {
+	if !s.ownNR {
+		m := make(map[RefID]intval.Range, len(s.nr))
+		for k, v := range s.nr {
+			m[k] = v
+		}
+		s.nr = m
+		s.ownNR = true
+	}
+	return s.nr
+}
+
+// clearSigmaRef removes every σ entry keyed by r, copying a shared map
+// only when an entry actually exists.
+func (s *state) clearSigmaRef(r RefID) {
+	var stale []sigKey
+	for k := range s.sigma {
+		if k.ref == r {
+			stale = append(stale, k)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	sigma := s.mutableSigma()
+	for _, k := range stale {
+		delete(sigma, k)
+	}
+}
+
+// delLength removes Len(r), copying a shared map only when present.
+func (s *state) delLength(r RefID) {
+	if _, ok := s.length[r]; ok {
+		delete(s.mutableLength(), r)
+	}
+}
+
+// delNR removes NR(r), copying a shared map only when present.
+func (s *state) delNR(r RefID) {
+	if _, ok := s.nr[r]; ok {
+		delete(s.mutableNR(), r)
+	}
 }
 
 func (s *state) push(v Value) { s.stack = append(s.stack, v) }
@@ -165,64 +255,51 @@ func (s *state) escapeCond(targets RefSet, val Value) {
 	}
 }
 
-// dropSrcsForEscaped strips null-or-same guarantees that name escaped
-// references, everywhere in the state.
-func (s *state) dropSrcsForEscaped() {
+// mapSrcs rewrites the null-or-same guarantee set of every tracked value
+// through f, copying shared containers only when a set actually changes.
+func (s *state) mapSrcs(f func(*srcSet) *srcSet) {
 	for i, v := range s.locals {
-		if v.srcs != nil {
-			s.locals[i] = v.withSrcs(v.srcs.dropRefs(s.nl))
+		if v.srcs == nil {
+			continue
+		}
+		if ns := f(v.srcs); ns != v.srcs {
+			s.mutableLocals()[i] = v.withSrcs(ns)
 		}
 	}
 	for i, v := range s.stack {
-		if v.srcs != nil {
-			s.stack[i] = v.withSrcs(v.srcs.dropRefs(s.nl))
+		if v.srcs == nil {
+			continue
+		}
+		if ns := f(v.srcs); ns != v.srcs {
+			s.stack[i] = v.withSrcs(ns)
 		}
 	}
 	for k, v := range s.sigma {
-		if v.srcs != nil {
-			s.sigma[k] = v.withSrcs(v.srcs.dropRefs(s.nl))
+		if v.srcs == nil {
+			continue
+		}
+		if ns := f(v.srcs); ns != v.srcs {
+			s.mutableSigma()[k] = v.withSrcs(ns)
 		}
 	}
+}
+
+// dropSrcsForEscaped strips null-or-same guarantees that name escaped
+// references, everywhere in the state.
+func (s *state) dropSrcsForEscaped() {
+	s.mapSrcs(func(set *srcSet) *srcSet { return set.dropRefs(s.nl) })
 }
 
 // dropSrcsForField strips null-or-same guarantees naming the given field,
 // everywhere (a store to the field may invalidate them).
 func (s *state) dropSrcsForField(field string) {
-	for i, v := range s.locals {
-		if v.srcs != nil {
-			s.locals[i] = v.withSrcs(v.srcs.dropField(field))
-		}
-	}
-	for i, v := range s.stack {
-		if v.srcs != nil {
-			s.stack[i] = v.withSrcs(v.srcs.dropField(field))
-		}
-	}
-	for k, v := range s.sigma {
-		if v.srcs != nil {
-			s.sigma[k] = v.withSrcs(v.srcs.dropField(field))
-		}
-	}
+	s.mapSrcs(func(set *srcSet) *srcSet { return set.dropField(field) })
 }
 
 // dropAllSrcs strips every null-or-same guarantee (calls may write any
 // field of any reachable object).
 func (s *state) dropAllSrcs() {
-	for i, v := range s.locals {
-		if v.srcs != nil {
-			s.locals[i] = v.withSrcs(nil)
-		}
-	}
-	for i, v := range s.stack {
-		if v.srcs != nil {
-			s.stack[i] = v.withSrcs(nil)
-		}
-	}
-	for k, v := range s.sigma {
-		if v.srcs != nil {
-			s.sigma[k] = v.withSrcs(nil)
-		}
-	}
+	s.mapSrcs(func(*srcSet) *srcSet { return nil })
 }
 
 // substValue renames references in a value (the allocation-site renaming
@@ -261,8 +338,10 @@ func (s *state) renameAlloc(a, b RefID) {
 	if a == b {
 		return // single-summary ablation: nothing to rename
 	}
-	for i := range s.locals {
-		s.locals[i] = substValue(s.locals[i], a, b)
+	for i, v := range s.locals {
+		if nv := substValue(v, a, b); !nv.Equal(v) {
+			s.mutableLocals()[i] = nv
+		}
 	}
 	for i := range s.stack {
 		s.stack[i] = substValue(s.stack[i], a, b)
@@ -281,54 +360,59 @@ func (s *state) renameAlloc(a, b RefID) {
 			moves = append(moves, k)
 		}
 	}
-	sort.Slice(moves, func(i, j int) bool { return srcKeyLess(srcKey(moves[i]), srcKey(moves[j])) })
-	for _, k := range moves {
-		v := s.sigma[k]
-		delete(s.sigma, k)
-		nk := sigKey{ref: b, field: k.field}
-		v = substValue(v, a, b)
-		if old, ok := s.sigma[nk]; ok {
-			s.sigma[nk] = weakMergeValue(old, v)
-		} else {
-			// B had no entry: its default is null/zero, so the weak
-			// merge is with that default.
-			var def Value
-			if v.kind == vInt {
-				def = IntValue(intval.Const(0))
+	if len(moves) > 0 {
+		sigma := s.mutableSigma()
+		sort.Slice(moves, func(i, j int) bool { return srcKeyLess(srcKey(moves[i]), srcKey(moves[j])) })
+		for _, k := range moves {
+			v := sigma[k]
+			delete(sigma, k)
+			nk := sigKey{ref: b, field: k.field}
+			v = substValue(v, a, b)
+			if old, ok := sigma[nk]; ok {
+				sigma[nk] = weakMergeValue(old, v)
 			} else {
-				def = NullValue()
+				// B had no entry: its default is null/zero, so the weak
+				// merge is with that default.
+				var def Value
+				if v.kind == vInt {
+					def = IntValue(intval.Const(0))
+				} else {
+					def = NullValue()
+				}
+				sigma[nk] = weakMergeValue(def, v)
 			}
-			s.sigma[nk] = weakMergeValue(def, v)
 		}
 	}
 	for k, v := range s.sigma {
 		if nv := substValue(v, a, b); !nv.Equal(v) {
-			s.sigma[k] = nv
+			s.mutableSigma()[k] = nv
 		}
 	}
 	// Len and NR move to the summary with weak semantics.
 	if l, ok := s.length[a]; ok {
-		delete(s.length, a)
-		if lb, ok := s.length[b]; ok {
+		length := s.mutableLength()
+		delete(length, a)
+		if lb, ok := length[b]; ok {
 			if m := intval.Merge(l, lb, nil); !m.IsTop() {
-				s.length[b] = m
+				length[b] = m
 			} else {
-				delete(s.length, b)
+				delete(length, b)
 			}
 		} else {
-			s.length[b] = l
+			length[b] = l
 		}
 	}
 	if r, ok := s.nr[a]; ok {
-		delete(s.nr, a)
-		if rb, ok := s.nr[b]; ok {
+		nr := s.mutableNR()
+		delete(nr, a)
+		if rb, ok := nr[b]; ok {
 			if m := intval.MergeRanges(r, rb, nil); !m.IsEmpty() {
-				s.nr[b] = m
+				nr[b] = m
 			} else {
-				delete(s.nr, b)
+				delete(nr, b)
 			}
 		} else if !r.IsEmpty() {
-			s.nr[b] = r
+			nr[b] = r
 		}
 	}
 }

@@ -52,8 +52,24 @@ func Const(b int64) IntVal { return IntVal{b: b} }
 // OfVar returns the value 1·v.
 func OfVar(v VarU) IntVal { return IntVal{a: 1, v: v} }
 
+// constUCache interns the one-term lists of small constant unknowns.
+// Term lists are immutable (every operation builds a new list), so the
+// cached slices can be shared freely, including across goroutines.
+var constUCache = func() [64][]Term {
+	var c [64][]Term
+	for i := range c {
+		c[i] = []Term{{C: ConstU(i), K: 1}}
+	}
+	return c
+}()
+
 // OfConstU returns the value 1·c.
-func OfConstU(c ConstU) IntVal { return IntVal{ts: []Term{{C: c, K: 1}}} }
+func OfConstU(c ConstU) IntVal {
+	if int(c) < len(constUCache) {
+		return IntVal{ts: constUCache[c]}
+	}
+	return IntVal{ts: []Term{{C: c, K: 1}}}
+}
 
 // IsTop reports whether i is ⊤.
 func (i IntVal) IsTop() bool { return i.top }

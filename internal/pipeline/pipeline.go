@@ -7,6 +7,9 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"satbelim/internal/bytecode"
@@ -36,6 +39,20 @@ type Options struct {
 	// Analysis selects the barrier analysis configuration (B/F/A and
 	// extensions).
 	Analysis core.Options
+	// Workers is the per-method fan-out width for the verify and
+	// analysis stages (both are intra-procedural after inlining, so
+	// methods are independent). <= 0 means GOMAXPROCS. Results are
+	// deterministic: reports and elision bits are identical for any
+	// worker count.
+	Workers int
+}
+
+// workerCount resolves the configured fan-out width.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Build is a compiled, analyzed program plus compile-time metrics.
@@ -116,7 +133,7 @@ func Compile(name, source string, opts Options) (*Build, error) {
 	b.InlinedCalls = ir.Expanded
 
 	start = time.Now()
-	if err := verifier.VerifyProgram(b.Program); err != nil {
+	if err := verifyParallel(b.Program, opts.workerCount()); err != nil {
 		return nil, fmt.Errorf("pipeline %s: %w", name, err)
 	}
 	b.VerifyTime = time.Since(start)
@@ -124,7 +141,7 @@ func Compile(name, source string, opts Options) (*Build, error) {
 
 	if opts.Analysis.Mode != core.ModeNone {
 		start = time.Now()
-		rep, err := core.AnalyzeProgram(b.Program, opts.Analysis)
+		rep, err := core.AnalyzeProgramParallel(b.Program, opts.Analysis, opts.workerCount())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline %s: %w", name, err)
 		}
@@ -132,6 +149,44 @@ func Compile(name, source string, opts Options) (*Build, error) {
 		b.Report = rep
 	}
 	return b, nil
+}
+
+// verifyParallel verifies every method, fanning independent methods
+// across workers. The inliner deep-clones method bodies, so no two
+// methods share a Code or SlotTypes slice and each worker's writes
+// (MaxStack) stay method-local. On failure the error of the first method
+// in program order is returned, independent of scheduling.
+func verifyParallel(p *bytecode.Program, workers int) error {
+	methods := p.Methods()
+	if workers > len(methods) {
+		workers = len(methods)
+	}
+	if workers <= 1 {
+		return verifier.VerifyProgram(p)
+	}
+	errs := make([]error, len(methods))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(methods) {
+					return
+				}
+				errs[i] = verifier.Verify(p, methods[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run executes the built program on the VM.

@@ -8,6 +8,7 @@ import (
 	"satbelim/internal/core"
 	"satbelim/internal/satb"
 	"satbelim/internal/vm"
+	"satbelim/internal/workloads"
 )
 
 const src = `
@@ -102,6 +103,69 @@ class T { static void main() { N n = new N(); n.next = new N(); } }
 	}
 	if got, want := cB.CompiledCodeSize()-cA.CompiledCodeSize(), BarrierInlineBytes; got != want {
 		t.Errorf("one elided site should save %d bytes, saved %d", want, got)
+	}
+}
+
+// TestParallelAnalysisDeterministic is the determinism contract of the
+// parallel pipeline: on every workload, a single-worker build and an
+// 8-worker build must produce byte-identical analysis reports and
+// per-instruction elision bits. All analysis extensions are enabled so
+// every elision flag is exercised.
+func TestParallelAnalysisDeterministic(t *testing.T) {
+	opts := core.Options{Mode: core.ModeFieldArray, NullOrSame: true, Rearrange: true}
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			b1, err := Compile(w.Name, w.Source, Options{InlineLimit: 100, Analysis: opts, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b8, err := Compile(w.Name, w.Source, Options{InlineLimit: 100, Analysis: opts, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, r8 := b1.Report, b8.Report
+			r1.AnalysisTime, r8.AnalysisTime = 0, 0
+			if !reflect.DeepEqual(r1, r8) {
+				t.Errorf("reports differ between Workers=1 and Workers=8:\n%s\nvs\n%s", r1, r8)
+			}
+			m1, m8 := b1.Program.Methods(), b8.Program.Methods()
+			if len(m1) != len(m8) {
+				t.Fatalf("method counts differ: %d vs %d", len(m1), len(m8))
+			}
+			for i := range m1 {
+				if len(m1[i].Code) != len(m8[i].Code) {
+					t.Fatalf("%s: code lengths differ", m1[i].QualifiedName())
+				}
+				for pc := range m1[i].Code {
+					x, y := &m1[i].Code[pc], &m8[i].Code[pc]
+					if x.Elide != y.Elide || x.ElideNullOrSame != y.ElideNullOrSame || x.ElideRearrange != y.ElideRearrange {
+						t.Errorf("%s pc %d: elision bits differ: (%v,%v,%v) vs (%v,%v,%v)",
+							m1[i].QualifiedName(), pc,
+							x.Elide, x.ElideNullOrSame, x.ElideRearrange,
+							y.Elide, y.ElideNullOrSame, y.ElideRearrange)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersDefaultMatchesExplicit checks the GOMAXPROCS default path
+// agrees with an explicit worker count.
+func TestWorkersDefaultMatchesExplicit(t *testing.T) {
+	opts := core.Options{Mode: core.ModeFieldArray}
+	bDef, err := Compile("t", src, Options{InlineLimit: 100, Analysis: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOne, err := Compile("t", src, Options{InlineLimit: 100, Analysis: opts, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, o := bDef.Report, bOne.Report
+	d.AnalysisTime, o.AnalysisTime = 0, 0
+	if !reflect.DeepEqual(d, o) {
+		t.Error("default worker count changed analysis results")
 	}
 }
 
