@@ -1,19 +1,28 @@
 // Command satbbench regenerates the paper's evaluation artifacts over the
 // built-in workload suite: Table 1 (dynamic eliminations), Table 2 (jbb
 // end-to-end barrier cost), Figure 2 (inline-limit sweep), Figure 3
-// (compiled code size), the §4.3 null-or-same measurements, and the
+// (compiled code size), the §4.3 null-or-same measurements, the
 // compile-side performance snapshot (per-stage times + fixed-point block
-// visits).
+// visits), and the soundness-oracle sweep (-oracle: every workload run
+// with runtime validation of each elided store).
 //
 // With -json FILE every computed section is additionally written as a
 // machine-readable JSON document (e.g. BENCH_satb.json), so the perf
-// trajectory can be compared across revisions.
+// trajectory can be compared across revisions. The file is written
+// atomically (temp file + rename), so a crashed or interrupted run never
+// leaves a truncated document behind.
+//
+// -deadline D applies a per-method analysis wall-clock budget: methods
+// exceeding it degrade to the sound all-barriers result. -strict exits
+// nonzero if any method degraded or the oracle found a violation, for CI
+// gating.
 //
 // Usage:
 //
 //	satbbench -all
 //	satbbench -table1 -fig3
 //	satbbench -all -json BENCH_satb.json
+//	satbbench -oracle -strict -deadline 2s
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"satbelim/internal/report"
 )
@@ -37,6 +47,7 @@ type jsonResults struct {
 	NullOrSame      []report.NullOrSameRow `json:"null_or_same,omitempty"`
 	Rearrange       []report.RearrangeRow  `json:"rearrange,omitempty"`
 	Interprocedural []report.InterprocRow  `json:"interprocedural,omitempty"`
+	Oracle          []report.OracleRow     `json:"oracle,omitempty"`
 }
 
 func main() {
@@ -49,19 +60,27 @@ func main() {
 	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
 	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
 	perf := flag.Bool("perf", false, "compile-side performance snapshot (stage times, block visits)")
-	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3, perf")
+	oracle := flag.Bool("oracle", false, "soundness oracle: validate every elided store at runtime")
+	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3, perf, oracle")
 	workers := flag.Int("workers", 0, "per-method analysis fan-out (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "per-method analysis wall-clock budget (0 = unlimited); over-budget methods keep all barriers")
+	strict := flag.Bool("strict", false, "exit nonzero if any method degraded or the oracle found a violation (implies -oracle)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_satb.json)")
 	flag.Parse()
 
-	if *all {
-		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf = true, true, true, true, true, true, true, true
+	if *strict {
+		*oracle = true
 	}
-	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf {
-		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-json FILE]")
+	if *all {
+		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf, *oracle = true, true, true, true, true, true, true, true, true
+	}
+	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf && !*oracle {
+		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-oracle] [-strict] [-deadline D] [-json FILE]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+
+	report.AnalysisDeadline = *deadline
 
 	out := &jsonResults{InlineLimit: *inlineLimit, Workers: *workers}
 
@@ -129,6 +148,20 @@ func main() {
 		out.Interprocedural = rows
 		fmt.Println(report.FormatInterprocedural(rows))
 	}
+	var oracleFailed bool
+	if *oracle {
+		rows, err := report.Oracle(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		out.Oracle = rows
+		fmt.Println(report.FormatOracle(rows))
+		for _, r := range rows {
+			if !r.Clean() || len(r.Degraded) > 0 {
+				oracleFailed = true
+			}
+		}
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
@@ -136,11 +169,39 @@ func main() {
 			fatal(err)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		if err := writeFileAtomic(*jsonPath, data); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "satbbench: wrote %s\n", *jsonPath)
 	}
+
+	if *strict && oracleFailed {
+		fmt.Fprintln(os.Stderr, "satbbench: -strict: oracle violations or degraded methods present")
+		os.Exit(1)
+	}
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so readers never observe a partial document and
+// an interrupted run leaves the previous file intact.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func fatal(err error) {

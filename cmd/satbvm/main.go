@@ -30,6 +30,8 @@ func main() {
 	gcKind := flag.String("gc", "none", "collector: none, satb, inc")
 	trigger := flag.Int64("gc-trigger", 200, "allocations between marking cycles")
 	check := flag.Bool("check", false, "verify the SATB snapshot invariant every cycle")
+	oracle := flag.Bool("oracle", false, "validate every elided store at runtime (soundness oracle)")
+	deadline := flag.Duration("deadline", 0, "per-method analysis wall-clock budget (0 = unlimited)")
 	sites := flag.Bool("sites", false, "print per-site statistics")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
 	flag.Parse()
@@ -95,19 +97,29 @@ func main() {
 
 	b, err := pipeline.Compile(name, source, pipeline.Options{
 		InlineLimit: *inlineLimit,
-		Analysis:    core.Options{Mode: am, NullOrSame: *nullOrSame},
+		Analysis:    core.Options{Mode: am, NullOrSame: *nullOrSame, Deadline: *deadline},
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if b.Report != nil {
+		for _, m := range b.Report.Degraded() {
+			fmt.Fprintf(os.Stderr, "satbvm: %s degraded to all-barriers (%s)\n",
+				m.Method.QualifiedName(), m.Degraded)
+		}
 	}
 	res, err := b.Run(vm.Config{
 		Barrier:            bm,
 		GC:                 gk,
 		TriggerEveryAllocs: *trigger,
 		CheckInvariant:     *check,
+		CheckElisions:      *oracle,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *oracle {
+		fmt.Printf("oracle: %d elided stores validated\n", res.ElisionChecks)
 	}
 
 	fmt.Printf("output: %v\n", res.Output)

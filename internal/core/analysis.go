@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"satbelim/internal/bytecode"
 	"satbelim/internal/cfg"
@@ -62,10 +64,40 @@ type Options struct {
 	// when Interprocedural is set and it is nil.
 	Summaries Summaries
 
+	// Analysis budgets (sound degradation). A method exceeding any budget
+	// bails out to the always-sound result — every barrier kept, no
+	// instruction annotated — with the reason recorded in its
+	// MethodReport.Degraded.
+	//
 	// MaxBlockVisits bounds the fixed point per method (0 = default).
-	// On overflow the method is left unannotated (conservative).
 	MaxBlockVisits int
+	// Deadline bounds per-method analysis wall-clock time (0 = none).
+	// Unlike the structural budgets it is a real-time bound, so whether a
+	// borderline method degrades can vary run to run; use MaxBlockVisits
+	// or MaxStateSize where reproducibility matters.
+	Deadline time.Duration
+	// MaxStateSize bounds the abstract-state footprint (σ + Len + NR
+	// entries) of any block's out state (0 = none).
+	MaxStateSize int
 }
+
+// DegradeReason labels why a method's analysis bailed out to the
+// conservative all-barriers result.
+type DegradeReason string
+
+const (
+	// DegradeNone: the method was analyzed normally.
+	DegradeNone DegradeReason = ""
+	// DegradeVisitBudget: the fixed point exceeded MaxBlockVisits.
+	DegradeVisitBudget DegradeReason = "visit-budget"
+	// DegradeDeadline: the per-method wall-clock Deadline expired.
+	DegradeDeadline DegradeReason = "deadline"
+	// DegradeStateSize: an abstract state outgrew MaxStateSize.
+	DegradeStateSize DegradeReason = "state-size"
+	// DegradePanic: the analysis panicked; the recovered value and stack
+	// are in MethodReport.DegradeDetail.
+	DegradePanic DegradeReason = "panic"
+)
 
 // MethodReport summarizes one method's analysis.
 type MethodReport struct {
@@ -82,6 +114,12 @@ type MethodReport struct {
 	Converged     bool
 	AbstractRefs  int
 	BytecodeBytes int
+	// Degraded records why the analysis bailed out to the conservative
+	// all-barriers result (DegradeNone when it completed).
+	Degraded DegradeReason
+	// DegradeDetail carries diagnostic detail — for DegradePanic, the
+	// recovered value and captured stack.
+	DegradeDetail string
 }
 
 // analyzer is the per-method analysis engine.
@@ -126,13 +164,30 @@ type analyzer struct {
 
 	visits    int
 	maxVisits int
+	// deadline is the wall-clock bail-out time (zero = none);
+	// maxStateSize caps any block out-state's footprint (0 = none).
+	deadline     time.Time
+	maxStateSize int
 }
 
 // AnalyzeMethod runs the analysis on one method, setting the Elide /
 // ElideNullOrSame flags on its instructions and returning a report.
 // ModeNone clears all flags and returns immediately.
-func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (*MethodReport, error) {
-	rep := &MethodReport{Method: m, Converged: true, BytecodeBytes: m.Size()}
+//
+// The analysis never takes a method (or the pipeline above it) down: a
+// panic anywhere inside is recovered and converted into the conservative
+// degraded result — all flags cleared, every barrier kept — with the
+// recovered value and stack in the report. The same holds for methods
+// exceeding the Options budgets (visit count, deadline, state size).
+func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (rep *MethodReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = degradedReport(p, m, DegradePanic,
+				fmt.Sprintf("%v\n%s", r, debug.Stack()))
+			err = nil
+		}
+	}()
+	rep = &MethodReport{Method: m, Converged: true, BytecodeBytes: m.Size()}
 	for pc := range m.Code {
 		m.Code[pc].Elide = false
 		m.Code[pc].ElideNullOrSame = false
@@ -148,10 +203,11 @@ func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (*Meth
 	}
 	a := &analyzer{
 		prog: p, m: m, g: g, opts: opts,
-		refs:      buildRefTable(m, opts.SingleRefPerSite),
-		entry:     make([]*state, len(g.Blocks)),
-		seen:      make([]bool, len(g.Blocks)),
-		maxVisits: opts.MaxBlockVisits,
+		refs:         buildRefTable(m, opts.SingleRefPerSite),
+		entry:        make([]*state, len(g.Blocks)),
+		seen:         make([]bool, len(g.Blocks)),
+		maxVisits:    opts.MaxBlockVisits,
+		maxStateSize: opts.MaxStateSize,
 	}
 	if opts.Interprocedural {
 		a.summaries = opts.Summaries
@@ -159,18 +215,35 @@ func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (*Meth
 	if a.maxVisits <= 0 {
 		a.maxVisits = 200*len(g.Blocks) + 2000
 	}
+	if opts.Deadline > 0 {
+		a.deadline = time.Now().Add(opts.Deadline)
+	}
 	rep.AbstractRefs = a.refs.count()
 
 	a.entry[0] = a.initialState()
 	a.seen[0] = true
-	if !a.fixpoint() {
+	if reason := a.fixpoint(); reason != DegradeNone {
 		rep.Converged = false
+		rep.Degraded = reason
 		rep.BlockVisits = a.visits
 		return rep, nil
 	}
 	rep.BlockVisits = a.visits
 	a.judge(rep)
 	return rep, nil
+}
+
+// degradedReport is the conservative bail-out result: every elision flag
+// cleared (all barriers kept), sites counted, and the reason recorded.
+func degradedReport(p *bytecode.Program, m *bytecode.Method, reason DegradeReason, detail string) *MethodReport {
+	for pc := range m.Code {
+		m.Code[pc].Elide = false
+		m.Code[pc].ElideNullOrSame = false
+		m.Code[pc].ElideRearrange = false
+	}
+	rep := &MethodReport{Method: m, BytecodeBytes: m.Size(), Degraded: reason, DegradeDetail: detail}
+	countSites(p, m, rep)
+	return rep
 }
 
 // countSites counts the barrier sites (reference-storing putfield and
@@ -281,21 +354,32 @@ func (w *rpoWorklist) pop() (int, bool) {
 	return id, true
 }
 
-// fixpoint iterates blocks to a fixed point in RPO priority order; false
-// means the visit budget was exhausted.
-func (a *analyzer) fixpoint() bool {
+// deadlineCheckInterval spaces out the wall-clock reads in the fixed
+// point: one time.Now() per this many block visits.
+const deadlineCheckInterval = 32
+
+// fixpoint iterates blocks to a fixed point in RPO priority order. A
+// non-DegradeNone return means a budget was exhausted and the method must
+// degrade to the conservative result.
+func (a *analyzer) fixpoint() DegradeReason {
 	work := newRPOWorklist(a.g.RPOIndex())
 	work.push(0)
 	for {
 		id, ok := work.pop()
 		if !ok {
-			return true
+			return DegradeNone
 		}
 		a.visits++
 		if a.visits > a.maxVisits {
-			return false
+			return DegradeVisitBudget
+		}
+		if !a.deadline.IsZero() && a.visits%deadlineCheckInterval == 0 && time.Now().After(a.deadline) {
+			return DegradeDeadline
 		}
 		out, targets := a.simulate(a.entry[id].clone(), a.g.Blocks[id], nil)
+		if a.maxStateSize > 0 && stateFootprint(out) > a.maxStateSize {
+			return DegradeStateSize
+		}
 		a.everNL = a.everNL.Union(out.nl)
 		for _, tgt := range targets {
 			var changed bool
@@ -404,6 +488,12 @@ func (a *analyzer) judge(rep *MethodReport) {
 			}
 		}
 	}
+}
+
+// stateFootprint measures an abstract state's retained map entries — the
+// quantity MaxStateSize bounds.
+func stateFootprint(s *state) int {
+	return len(s.sigma) + len(s.length) + len(s.nr)
 }
 
 // judgeKind distinguishes the three elision judgments.

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"satbelim/internal/bytecode"
+)
+
+// loopSrc has a genuine fixed point (a loop) so budgets can bite.
+const loopSrc = `
+class N { N next; }
+class A {
+    static void main() {
+        for (int i = 0; i < 10; i = i + 1) {
+            N n = new N();
+            n.next = new N();
+        }
+    }
+}
+`
+
+// noElisions asserts every elision flag on every method is clear.
+func noElisions(t *testing.T, p *bytecode.Program) {
+	t.Helper()
+	for _, m := range p.Methods() {
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if in.Elide || in.ElideNullOrSame || in.ElideRearrange {
+				t.Errorf("%s pc %d: elision flag survived degradation", m.QualifiedName(), pc)
+			}
+		}
+	}
+}
+
+func TestVisitBudgetDegradesConservatively(t *testing.T) {
+	p, rep := analyzeSrc(t, loopSrc, 100, Options{Mode: ModeFieldArray, MaxBlockVisits: 1})
+	main := rep.Methods[len(rep.Methods)-1]
+	for _, m := range rep.Methods {
+		if m.Method.Name == "main" {
+			main = m
+		}
+	}
+	if main.Degraded != DegradeVisitBudget {
+		t.Fatalf("main Degraded = %q, want %q", main.Degraded, DegradeVisitBudget)
+	}
+	if main.Converged {
+		t.Error("degraded method still reports Converged")
+	}
+	if main.FieldSites == 0 {
+		t.Error("degraded report should still count barrier sites")
+	}
+	noElisions(t, p)
+	if len(rep.Degraded()) == 0 {
+		t.Error("ProgramReport.Degraded() should list the method")
+	}
+	if !strings.Contains(rep.String(), "degraded to all-barriers") {
+		t.Errorf("report rendering should mention degradation:\n%s", rep)
+	}
+}
+
+func TestStateSizeBudgetDegrades(t *testing.T) {
+	_, rep := analyzeSrc(t, loopSrc, 100, Options{Mode: ModeFieldArray, MaxStateSize: 1})
+	found := false
+	for _, m := range rep.Methods {
+		if m.Degraded == DegradeStateSize {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no method degraded under MaxStateSize=1")
+	}
+}
+
+func TestDeadlineDegrades(t *testing.T) {
+	// Enough branching that the fixed point exceeds the deadline-check
+	// interval, so the expired 1ns deadline is observed.
+	var b strings.Builder
+	b.WriteString("class N { N next; }\nclass A {\n    static void main() {\n        N n = new N();\n        int s = 0;\n")
+	for i := 0; i < 2*deadlineCheckInterval; i++ {
+		fmt.Fprintf(&b, "        if (s < %d) { s = s + 1; n.next = new N(); }\n", i)
+	}
+	b.WriteString("        print(s);\n    }\n}\n")
+	_, rep := analyzeSrc(t, b.String(), 0, Options{Mode: ModeFieldArray, Deadline: time.Nanosecond})
+	found := false
+	for _, m := range rep.Methods {
+		if m.Degraded == DegradeDeadline {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no method degraded under a 1ns deadline")
+	}
+}
+
+func TestPanicDegradesConservatively(t *testing.T) {
+	// An invoke of an unresolved method panics inside simulate (nil
+	// callee). Unverified programs are the only way to reach this; the
+	// analysis must degrade the method, not take the pipeline down.
+	p := bytecode.NewProgram()
+	cls := &bytecode.Class{Name: "T"}
+	b := bytecode.NewBuilder("T", "boom", true)
+	b.Invoke(bytecode.MethodRef{Class: "X", Name: "nope"})
+	b.Return()
+	m := b.Build()
+	cls.Methods = append(cls.Methods, m)
+	p.AddClass(cls)
+
+	rep, err := AnalyzeMethod(p, m, Options{Mode: ModeFieldArray})
+	if err != nil {
+		t.Fatalf("panic should degrade, not error: %v", err)
+	}
+	if rep.Degraded != DegradePanic {
+		t.Fatalf("Degraded = %q, want %q", rep.Degraded, DegradePanic)
+	}
+	if !strings.Contains(rep.DegradeDetail, "goroutine") && !strings.Contains(rep.DegradeDetail, ".go:") {
+		t.Errorf("DegradeDetail should carry a captured stack, got %q", rep.DegradeDetail)
+	}
+	noElisions(t, p)
+}
+
+// TestGenerousBudgetsChangeNothing: budgets far above what the program
+// needs must leave the analysis result bit-identical to no budgets.
+func TestGenerousBudgetsChangeNothing(t *testing.T) {
+	p1, r1 := analyzeSrc(t, loopSrc, 100, Options{Mode: ModeFieldArray, NullOrSame: true})
+	p2, r2 := analyzeSrc(t, loopSrc, 100, Options{
+		Mode: ModeFieldArray, NullOrSame: true,
+		MaxStateSize: 1 << 20, Deadline: time.Hour, MaxBlockVisits: 1 << 20,
+	})
+	r1.AnalysisTime, r2.AnalysisTime = 0, 0
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("generous budgets changed the report:\n%s\nvs\n%s", r1, r2)
+	}
+	m1, m2 := p1.Methods(), p2.Methods()
+	for i := range m1 {
+		for pc := range m1[i].Code {
+			x, y := &m1[i].Code[pc], &m2[i].Code[pc]
+			if x.Elide != y.Elide || x.ElideNullOrSame != y.ElideNullOrSame {
+				t.Errorf("%s pc %d: elision bits differ", m1[i].QualifiedName(), pc)
+			}
+		}
+	}
+}

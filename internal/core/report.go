@@ -98,6 +98,18 @@ func (r *ProgramReport) BlockVisits() int {
 	return n
 }
 
+// Degraded returns the methods whose analysis bailed out to the
+// conservative all-barriers result, in program order.
+func (r *ProgramReport) Degraded() []*MethodReport {
+	var out []*MethodReport
+	for _, m := range r.Methods {
+		if m.Degraded != DegradeNone {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // Totals sums the static site counts.
 func (r *ProgramReport) Totals() (fieldSites, arraySites, fieldElided, arrayElided, nullOrSame int) {
 	for _, m := range r.Methods {
@@ -123,13 +135,16 @@ func (r *ProgramReport) String() string {
 	fmt.Fprintf(&b, "\nanalysis time: %v (%d block visits)\n", r.AnalysisTime, r.BlockVisits())
 	var nc []string
 	for _, m := range r.Methods {
-		if !m.Converged {
+		switch {
+		case m.Degraded != DegradeNone:
+			nc = append(nc, fmt.Sprintf("%s (%s)", m.Method.QualifiedName(), m.Degraded))
+		case !m.Converged:
 			nc = append(nc, m.Method.QualifiedName())
 		}
 	}
 	if len(nc) > 0 {
 		sort.Strings(nc)
-		fmt.Fprintf(&b, "did not converge (left unannotated): %s\n", strings.Join(nc, ", "))
+		fmt.Fprintf(&b, "degraded to all-barriers: %s\n", strings.Join(nc, ", "))
 	}
 	return b.String()
 }

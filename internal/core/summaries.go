@@ -131,7 +131,7 @@ func summarizeMethod(p *bytecode.Program, m *bytecode.Method, opts Options, sums
 	}
 	a.entry[0] = a.initialState()
 	a.seen[0] = true
-	if !a.fixpoint() {
+	if a.fixpoint() != DegradeNone {
 		return worstSummary(m), nil
 	}
 	out := &MethodSummary{

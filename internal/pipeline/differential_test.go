@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"satbelim/internal/core"
+	"satbelim/internal/progen"
+	"satbelim/internal/satb"
+	"satbelim/internal/vm"
+)
+
+// The differential harness drives generated programs through the full
+// pipeline at several inline limits and worker counts and cross-checks:
+//
+//  1. program output is invariant across inline limit, worker count, and
+//     barrier mode (elision must never change observable behavior);
+//  2. analysis results are invariant across worker counts at each limit;
+//  3. every elided store validates under the runtime soundness oracle;
+//  4. no method degrades under default (unlimited) budgets.
+
+var diffLimits = []int{0, 50, 200}
+
+func diffSeeds(t *testing.T) []string {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	return progen.Corpus(5000, n, progen.DefaultConfig())
+}
+
+func TestDifferentialInlineWorkerOracle(t *testing.T) {
+	opts := core.Options{Mode: core.ModeFieldArray, NullOrSame: true, Rearrange: true}
+	for si, src := range diffSeeds(t) {
+		var baseline []int64
+		for _, limit := range diffLimits {
+			b1, err := Compile("gen", src, Options{InlineLimit: limit, Analysis: opts, Workers: 1})
+			if err != nil {
+				t.Fatalf("seed %d limit %d: %v", si, limit, err)
+			}
+			b8, err := Compile("gen", src, Options{InlineLimit: limit, Analysis: opts, Workers: 8})
+			if err != nil {
+				t.Fatalf("seed %d limit %d workers=8: %v", si, limit, err)
+			}
+			r1, r8 := b1.Report, b8.Report
+			r1.AnalysisTime, r8.AnalysisTime = 0, 0
+			if !reflect.DeepEqual(r1, r8) {
+				t.Errorf("seed %d limit %d: reports differ across worker counts", si, limit)
+			}
+			if d := r1.Degraded(); len(d) > 0 {
+				t.Errorf("seed %d limit %d: methods degraded under default budgets: %v", si, limit, d)
+			}
+			m1, m8 := b1.Program.Methods(), b8.Program.Methods()
+			for i := range m1 {
+				for pc := range m1[i].Code {
+					x, y := &m1[i].Code[pc], &m8[i].Code[pc]
+					if x.Elide != y.Elide || x.ElideNullOrSame != y.ElideNullOrSame || x.ElideRearrange != y.ElideRearrange {
+						t.Errorf("seed %d limit %d %s pc %d: elision bits differ across worker counts",
+							si, limit, m1[i].QualifiedName(), pc)
+					}
+				}
+			}
+			// Oracle run under concurrent marking: every elided store must
+			// overwrite null on an unescaped target.
+			res, err := b1.Run(vm.Config{
+				Barrier:            satb.ModeConditional,
+				GC:                 vm.GCSATB,
+				TriggerEveryAllocs: 64,
+				CheckInvariant:     true,
+				CheckElisions:      true,
+			})
+			if err != nil {
+				t.Fatalf("seed %d limit %d: oracle run failed: %v", si, limit, err)
+			}
+			if s := res.Counters.Summarize(); len(s.UnsoundSites) > 0 {
+				t.Errorf("seed %d limit %d: unsound sites %v", si, limit, s.UnsoundSites)
+			}
+			if baseline == nil {
+				baseline = res.Output
+			} else if !reflect.DeepEqual(baseline, res.Output) {
+				t.Errorf("seed %d limit %d: output differs from limit %d baseline", si, limit, diffLimits[0])
+			}
+		}
+	}
+}
+
+// TestDifferentialDegradedStillCorrect runs generated programs with a
+// starvation budget: every method degrades to all-barriers, and the
+// program must still run to the same output (degradation is sound, only
+// less precise).
+func TestDifferentialDegradedStillCorrect(t *testing.T) {
+	full := core.Options{Mode: core.ModeFieldArray, NullOrSame: true}
+	starved := full
+	starved.MaxBlockVisits = 1
+	for si, src := range diffSeeds(t) {
+		bf, err := Compile("gen", src, Options{InlineLimit: 100, Analysis: full})
+		if err != nil {
+			t.Fatalf("seed %d: %v", si, err)
+		}
+		bs, err := Compile("gen", src, Options{InlineLimit: 100, Analysis: starved})
+		if err != nil {
+			t.Fatalf("seed %d starved: %v", si, err)
+		}
+		cfg := vm.Config{Barrier: satb.ModeConditional, GC: vm.GCSATB, TriggerEveryAllocs: 64, CheckInvariant: true, CheckElisions: true}
+		rf, err := bf.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", si, err)
+		}
+		rs, err := bs.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d starved: %v", si, err)
+		}
+		if !reflect.DeepEqual(rf.Output, rs.Output) {
+			t.Errorf("seed %d: degraded build changed program output", si)
+		}
+		if rs.ElisionChecks != 0 {
+			t.Errorf("seed %d: degraded build still executed %d elided stores", si, rs.ElisionChecks)
+		}
+	}
+}

@@ -182,3 +182,40 @@ func TestInlineLimitChangesBytecodeSize(t *testing.T) {
 		t.Errorf("inlining should grow main: %d vs %d", b100.BytecodeBytes, b0.BytecodeBytes)
 	}
 }
+
+// TestDegradationDeterministic extends the determinism contract to the
+// degradation path: a budget every loop method exceeds must produce the
+// same degraded reports and (cleared) elision bits at Workers=1 and
+// Workers=8 — bail-out decisions cannot depend on scheduling.
+func TestDegradationDeterministic(t *testing.T) {
+	opts := core.Options{Mode: core.ModeFieldArray, NullOrSame: true, MaxBlockVisits: 1}
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			b1, err := Compile(w.Name, w.Source, Options{InlineLimit: 100, Analysis: opts, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b8, err := Compile(w.Name, w.Source, Options{InlineLimit: 100, Analysis: opts, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b1.Report.Degraded()) == 0 {
+				t.Fatal("MaxBlockVisits=1 should degrade at least one method")
+			}
+			r1, r8 := b1.Report, b8.Report
+			r1.AnalysisTime, r8.AnalysisTime = 0, 0
+			if !reflect.DeepEqual(r1, r8) {
+				t.Errorf("degraded reports differ between Workers=1 and Workers=8:\n%s\nvs\n%s", r1, r8)
+			}
+			m1, m8 := b1.Program.Methods(), b8.Program.Methods()
+			for i := range m1 {
+				for pc := range m1[i].Code {
+					x, y := &m1[i].Code[pc], &m8[i].Code[pc]
+					if x.Elide != y.Elide || x.ElideNullOrSame != y.ElideNullOrSame || x.ElideRearrange != y.ElideRearrange {
+						t.Errorf("%s pc %d: elision bits differ under degradation", m1[i].QualifiedName(), pc)
+					}
+				}
+			}
+		})
+	}
+}

@@ -22,11 +22,26 @@ import (
 // results").
 const DefaultInlineLimit = 100
 
+// AnalysisDeadline, when nonzero, is applied as the per-method analysis
+// wall-clock budget for every build this package performs (satbbench's
+// -deadline flag). Methods that exceed it degrade to the sound
+// all-barriers result and are listed in the report output.
+var AnalysisDeadline time.Duration
+
+// withBudget applies the package-level analysis budget to an options
+// value.
+func withBudget(o core.Options) core.Options {
+	if AnalysisDeadline > 0 && o.Deadline == 0 {
+		o.Deadline = AnalysisDeadline
+	}
+	return o
+}
+
 // buildAndRun compiles a workload with the given options and runs it with
 // conditional SATB barriers (marking kept permanently active so that every
 // barrier's dynamic behaviour is observed).
 func buildAndRun(w *workloads.Workload, inlineLimit int, opts core.Options) (*pipeline.Build, *vm.Result, error) {
-	b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: opts})
+	b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: withBudget(opts)})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -126,7 +141,7 @@ func Table2(inlineLimit int) ([]Table2Row, error) {
 	var rows []Table2Row
 	var base float64
 	for _, c := range cfgs {
-		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: c.opts})
+		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: withBudget(c.opts)})
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +197,7 @@ func Figure2(limits []int) ([]Fig2Point, error) {
 			for _, mode := range []core.Mode{core.ModeNone, core.ModeField, core.ModeFieldArray} {
 				b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 					InlineLimit: limit,
-					Analysis:    core.Options{Mode: mode},
+					Analysis:    withBudget(core.Options{Mode: mode}),
 				})
 				if err != nil {
 					return nil, fmt.Errorf("fig2 %s limit %d: %w", w.Name, limit, err)
@@ -240,7 +255,7 @@ func Figure3(inlineLimit int) ([]Fig3Row, error) {
 		for _, mode := range []core.Mode{core.ModeNone, core.ModeField, core.ModeFieldArray} {
 			b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 				InlineLimit: inlineLimit,
-				Analysis:    core.Options{Mode: mode},
+				Analysis:    withBudget(core.Options{Mode: mode}),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig3 %s: %w", w.Name, err)
@@ -384,7 +399,7 @@ func Rearrangement(inlineLimit int) ([]RearrangeRow, error) {
 	for _, w := range workloads.All() {
 		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 			InlineLimit: inlineLimit,
-			Analysis:    core.Options{Mode: core.ModeFieldArray, Rearrange: true},
+			Analysis:    withBudget(core.Options{Mode: core.ModeFieldArray, Rearrange: true}),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rearrange %s: %w", w.Name, err)
@@ -450,7 +465,7 @@ func Perf(inlineLimit, workers int) ([]PerfRow, error) {
 	for _, w := range workloads.All() {
 		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 			InlineLimit: inlineLimit,
-			Analysis:    core.Options{Mode: core.ModeFieldArray},
+			Analysis:    withBudget(core.Options{Mode: core.ModeFieldArray}),
 			Workers:     workers,
 		})
 		if err != nil {

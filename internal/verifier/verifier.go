@@ -123,8 +123,17 @@ func (v *verifier) errf(pc int, format string, args ...any) error {
 	return &Error{Method: v.m.QualifiedName(), PC: pc, Msg: fmt.Sprintf(format, args...)}
 }
 
-// Verify checks one method and fills in its MaxStack.
-func Verify(p *bytecode.Program, m *bytecode.Method) error {
+// Verify checks one method and fills in its MaxStack. Malformed bytecode
+// always surfaces as an *Error naming the method — never a panic: a
+// recover guard turns internal faults on adversarial input (e.g. from
+// fuzzing) into ordinary rejections, so a parallel verify pool cannot be
+// taken down by one bad method.
+func Verify(p *bytecode.Program, m *bytecode.Method) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{Method: m.QualifiedName(), PC: -1, Msg: fmt.Sprintf("internal verifier panic: %v", r)}
+		}
+	}()
 	g, err := cfg.Build(m)
 	if err != nil {
 		return &Error{Method: m.QualifiedName(), PC: -1, Msg: err.Error()}

@@ -47,6 +47,13 @@ type Config struct {
 	// ForceMarkingAlways keeps a marking cycle permanently active
 	// (starting a new cycle as soon as one finishes).
 	ForceMarkingAlways bool
+	// CheckElisions enables the runtime elision-soundness oracle: every
+	// elided reference store asserts the analysis claim that justified
+	// the elision (overwritten slot null / null-or-same, target object
+	// still thread-local). A contradicted claim aborts the run with a
+	// structured *SoundnessViolation instead of silently corrupting
+	// marking.
+	CheckElisions bool
 }
 
 // Result summarizes a run.
@@ -62,6 +69,9 @@ type Result struct {
 	Allocated int64
 	// Swept counts objects reclaimed.
 	Swept int
+	// ElisionChecks counts elided-store executions validated by the
+	// soundness oracle (0 unless Config.CheckElisions was set).
+	ElisionChecks int64
 }
 
 // TotalCost is the deterministic cost-model total: instructions executed
@@ -88,6 +98,7 @@ type frame struct {
 }
 
 type thread struct {
+	id     int
 	frames []*frame
 	done   bool
 }
@@ -102,6 +113,7 @@ type VM struct {
 	noplog   satb.NopLogger
 	threads  []*thread
 	output   []int64
+	oracle   *oracle
 
 	steps          int64
 	maxSteps       int64
@@ -134,6 +146,9 @@ func New(p *bytecode.Program, cfg Config) *VM {
 		v.marker = gc.NewSATB(v.heap)
 	case GCIncremental:
 		v.marker = gc.NewInc(v.heap)
+	}
+	if cfg.CheckElisions {
+		v.oracle = newOracle(v.heap)
 	}
 	return v
 }
@@ -184,7 +199,7 @@ func (v *VM) Run() (*Result, error) {
 	if v.marker != nil && v.marker.MarkingActive() {
 		v.finishCycle()
 	}
-	return &Result{
+	res := &Result{
 		Output:         v.output,
 		Steps:          v.steps,
 		Counters:       v.counters,
@@ -192,7 +207,11 @@ func (v *VM) Run() (*Result, error) {
 		FinalPauseWork: v.finalPauseWork,
 		Allocated:      v.heap.Allocated,
 		Swept:          v.swept,
-	}, nil
+	}
+	if v.oracle != nil {
+		res.ElisionChecks = v.oracle.checks
+	}
+	return res, nil
 }
 
 func newFrame(m *bytecode.Method) *frame {
@@ -424,6 +443,11 @@ func (v *VM) step(t *thread) error {
 			return v.errf(f, "%v", err)
 		}
 		if v.prog.FieldType(in.Field).IsRef() {
+			if v.oracle != nil {
+				if err := v.oracle.checkStore(f, t.id, satb.FieldSite, elideKind(in), old.R, val.R, obj.R); err != nil {
+					return err
+				}
+			}
 			key := satb.SiteKey{Method: f.m.QualifiedName(), PC: f.pc}
 			v.counters.Barrier(v.cfg.Barrier, v.logger(), key, satb.FieldSite,
 				elideKind(in), old.R, val.R, obj.R)
@@ -438,6 +462,11 @@ func (v *VM) step(t *thread) error {
 		val := pop()
 		old := v.heap.SetStatic(in.Field, val)
 		if v.prog.FieldType(in.Field).IsRef() {
+			if v.oracle != nil {
+				// Statics are globally reachable: the stored object (and
+				// everything it reaches) is published.
+				v.oracle.escape(val.R)
+			}
 			v.counters.StaticBarrier(v.cfg.Barrier, v.logger(), old.R)
 		}
 
@@ -447,6 +476,9 @@ func (v *VM) step(t *thread) error {
 			return v.errf(f, "%v", err)
 		}
 		v.allocSinceGC++
+		if v.oracle != nil {
+			v.oracle.noteAlloc(r, f.m.QualifiedName(), f.pc, t.id)
+		}
 		push(heap.RefVal(r))
 	case bytecode.OpNewArray:
 		n := pop().I
@@ -458,6 +490,9 @@ func (v *VM) step(t *thread) error {
 			return v.errf(f, "%v", err)
 		}
 		v.allocSinceGC++
+		if v.oracle != nil {
+			v.oracle.noteAlloc(r, f.m.QualifiedName(), f.pc, t.id)
+		}
 		push(heap.RefVal(r))
 	case bytecode.OpArrayLength:
 		arr := pop()
@@ -494,6 +529,11 @@ func (v *VM) step(t *thread) error {
 		old, err := v.heap.SetElem(arr.R, idx, val)
 		if err != nil {
 			return v.errf(f, "%v", err)
+		}
+		if v.oracle != nil {
+			if err := v.oracle.checkStore(f, t.id, satb.ArraySite, elideKind(in), old.R, val.R, arr.R); err != nil {
+				return err
+			}
 		}
 		key := satb.SiteKey{Method: f.m.QualifiedName(), PC: f.pc}
 		v.counters.Barrier(v.cfg.Barrier, v.logger(), key, satb.ArraySite,
@@ -536,7 +576,12 @@ func (v *VM) step(t *thread) error {
 		}
 		nf := newFrame(callee)
 		nf.locals[0] = recv
-		v.threads = append(v.threads, &thread{frames: []*frame{nf}})
+		if v.oracle != nil {
+			// The receiver (and everything it reaches) becomes visible to
+			// the spawned thread.
+			v.oracle.escape(recv.R)
+		}
+		v.threads = append(v.threads, &thread{id: len(v.threads), frames: []*frame{nf}})
 	case bytecode.OpReturn:
 		t.frames = t.frames[:len(t.frames)-1]
 		if len(t.frames) > 0 {
