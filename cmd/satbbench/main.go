@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"satbelim/internal/pipeline"
 	"satbelim/internal/report"
 )
 
@@ -48,6 +49,12 @@ type jsonResults struct {
 	Rearrange       []report.RearrangeRow  `json:"rearrange,omitempty"`
 	Interprocedural []report.InterprocRow  `json:"interprocedural,omitempty"`
 	Oracle          []report.OracleRow     `json:"oracle,omitempty"`
+	VMPerf          []report.VMPerfRow     `json:"vmperf,omitempty"`
+	// VMPerfGeomeanSpeedup is the geometric-mean fused-over-switch VM
+	// speedup across workloads (present with the vmperf section).
+	VMPerfGeomeanSpeedup float64 `json:"vmperf_geomean_speedup,omitempty"`
+	// BuildCache reports build-cache effectiveness over the whole run.
+	BuildCache pipeline.CacheStats `json:"build_cache"`
 }
 
 func main() {
@@ -60,6 +67,7 @@ func main() {
 	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
 	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
 	perf := flag.Bool("perf", false, "compile-side performance snapshot (stage times, block visits)")
+	vmperf := flag.Bool("vmperf", false, "VM execution-engine performance (fused vs switch: instr/s, ns/instr, allocs/op)")
 	oracle := flag.Bool("oracle", false, "soundness oracle: validate every elided store at runtime")
 	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3, perf, oracle")
 	workers := flag.Int("workers", 0, "per-method analysis fan-out (0 = GOMAXPROCS)")
@@ -72,10 +80,10 @@ func main() {
 		*oracle = true
 	}
 	if *all {
-		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf, *oracle = true, true, true, true, true, true, true, true, true
+		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf, *vmperf, *oracle = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf && !*oracle {
-		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-oracle] [-strict] [-deadline D] [-json FILE]")
+	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf && !*vmperf && !*oracle {
+		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-vmperf] [-oracle] [-strict] [-deadline D] [-json FILE]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -148,6 +156,15 @@ func main() {
 		out.Interprocedural = rows
 		fmt.Println(report.FormatInterprocedural(rows))
 	}
+	if *vmperf {
+		rows, err := report.VMPerf(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		out.VMPerf = rows
+		out.VMPerfGeomeanSpeedup = report.VMPerfGeomeanSpeedup(rows)
+		fmt.Println(report.FormatVMPerf(rows))
+	}
 	var oracleFailed bool
 	if *oracle {
 		rows, err := report.Oracle(*inlineLimit)
@@ -162,6 +179,8 @@ func main() {
 			}
 		}
 	}
+
+	out.BuildCache = pipeline.Stats()
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(out, "", "  ")

@@ -34,6 +34,9 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-method analysis wall-clock budget (0 = unlimited)")
 	sites := flag.Bool("sites", false, "print per-site statistics")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
+	engine := flag.String("engine", "fused", "execution engine: fused (pre-decoded) or switch (reference interpreter)")
+	noCache := flag.Bool("nocache", false, "bypass the content-addressed build cache")
+	verbose := flag.Bool("v", false, "print engine and build-cache details")
 	flag.Parse()
 
 	var name, source string
@@ -95,9 +98,15 @@ func main() {
 		fatal(fmt.Errorf("unknown gc %q", *gcKind))
 	}
 
+	eng, err := vm.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+
 	b, err := pipeline.Compile(name, source, pipeline.Options{
 		InlineLimit: *inlineLimit,
 		Analysis:    core.Options{Mode: am, NullOrSame: *nullOrSame, Deadline: *deadline},
+		NoCache:     *noCache,
 	})
 	if err != nil {
 		fatal(err)
@@ -114,9 +123,18 @@ func main() {
 		TriggerEveryAllocs: *trigger,
 		CheckInvariant:     *check,
 		CheckElisions:      *oracle,
+		Engine:             eng,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *verbose {
+		fmt.Printf("engine: %s\n", res.Engine)
+		cs := pipeline.Stats()
+		fmt.Printf("build cache: hit=%v (%d hits / %d misses, %d entries)\n",
+			b.CacheHit, cs.Hits, cs.Misses, cs.Entries)
+		fmt.Printf("compile: frontend %v, inline %v, verify %v, analysis %v\n",
+			b.FrontendTime, b.InlineTime, b.VerifyTime, b.AnalysisTime)
 	}
 	if *oracle {
 		fmt.Printf("oracle: %d elided stores validated\n", res.ElisionChecks)

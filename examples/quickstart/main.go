@@ -62,4 +62,17 @@ func main() {
 	fmt.Println("\n== dynamic run ==")
 	fmt.Printf("program output: %v\n", res.Output)
 	fmt.Println(res.Counters.Summarize().String())
+	fmt.Printf("execution engine: %s\n", res.Engine)
+
+	// A second compile of the same source is served from the build cache.
+	again, err := pipeline.Compile("quickstart", src, pipeline.Options{
+		InlineLimit: 100,
+		Analysis:    core.Options{Mode: core.ModeFieldArray},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := pipeline.Stats()
+	fmt.Printf("recompile cache hit: %v (%d hits / %d misses)\n",
+		again.CacheHit, cs.Hits, cs.Misses)
 }

@@ -6,6 +6,7 @@ package heap
 
 import (
 	"fmt"
+	"sort"
 
 	"satbelim/internal/bytecode"
 )
@@ -111,6 +112,24 @@ func (l *Layout) FieldIndex(ref bytecode.FieldRef) (int, error) {
 // Statics lists the declared static reference roots.
 func (l *Layout) Statics() []bytecode.FieldRef { return l.statics }
 
+// declaredStatic reports whether ref is a declared static field.
+func (l *Layout) declaredStatic(ref bytecode.FieldRef) bool {
+	for _, d := range l.statics {
+		if d == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// NumFields returns the instance-field count of a class, reporting whether
+// the class is known. The pre-decoded VM engine resolves it once per
+// allocation site instead of per allocation.
+func (l *Layout) NumFields(class string) (int, bool) {
+	n, ok := l.numFields[class]
+	return n, ok
+}
+
 // Heap is the object store.
 type Heap struct {
 	layout  *Layout
@@ -174,6 +193,13 @@ func (h *Heap) AllocObject(class string) (Ref, error) {
 	// always interprets by the declared type, so the shared zero works
 	// for both.
 	return h.add(&Object{Class: class, Fields: fields}), nil
+}
+
+// AllocObjectN allocates a class instance whose field count was resolved
+// ahead of time (the decode-time fast path; equivalent to AllocObject for
+// a known class).
+func (h *Heap) AllocObjectN(class string, nFields int) Ref {
+	return h.add(&Object{Class: class, Fields: make([]Value, nFields)})
 }
 
 // AllocArray allocates an array with zeroed/nulled elements.
@@ -266,12 +292,39 @@ func (h *Heap) SetStatic(ref bytecode.FieldRef, v Value) Value {
 	return old
 }
 
-// StaticRoots returns the current reference values of all statics.
+// StaticRoots returns the current reference values of all statics, in
+// declaration order. The order must be deterministic: the concurrent
+// marker paces its work in fixed-size steps, so a run-to-run shuffle of
+// the root queue would shift mark completion across scheduler quanta and
+// make barrier logging counts unreproducible.
 func (h *Heap) StaticRoots() []Ref {
 	var roots []Ref
-	for _, v := range h.statics {
-		if v.IsRef && v.R != Null {
-			roots = append(roots, v.R)
+	declared := 0
+	for _, ref := range h.layout.statics {
+		if v, ok := h.statics[ref]; ok {
+			declared++
+			if v.IsRef && v.R != Null {
+				roots = append(roots, v.R)
+			}
+		}
+	}
+	if declared < len(h.statics) {
+		// Statics written outside the declared layout (possible only for
+		// unverified programs): include them in a stable order too.
+		var extras []bytecode.FieldRef
+		for ref, v := range h.statics {
+			if v.IsRef && v.R != Null && !h.layout.declaredStatic(ref) {
+				extras = append(extras, ref)
+			}
+		}
+		sort.Slice(extras, func(i, j int) bool {
+			if extras[i].Class != extras[j].Class {
+				return extras[i].Class < extras[j].Class
+			}
+			return extras[i].Name < extras[j].Name
+		})
+		for _, ref := range extras {
+			roots = append(roots, h.statics[ref].R)
 		}
 	}
 	return roots

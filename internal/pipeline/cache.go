@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// The build cache memoizes Compile by content: experiments and tools
+// recompile the same six workload sources dozens of times across table
+// rows, figure sweeps, and differential runs, and every recompilation of
+// identical inputs produces an identical Build (compilation and analysis
+// are deterministic). Entries are keyed by source hash × options, never
+// by anything ambient, so a hit is exact.
+//
+// Cached Builds share the Program and Report pointers with the original
+// (both are treated as immutable after Compile); the Build struct itself
+// is copied so per-use metadata (CacheHit, timing fields a caller zeroes)
+// stays private to each caller.
+
+// buildCacheMaxEntries bounds the cache; at the limit the oldest entry is
+// evicted (FIFO — the experiment drivers sweep configurations in passes,
+// so recency is a good proxy for reuse).
+const buildCacheMaxEntries = 128
+
+// cacheKey identifies a build by everything that can influence its
+// output. Workers is semantically inert (results are deterministic for
+// any worker count) but stays in the key so that differential tests
+// comparing worker counts still compile each configuration independently.
+type cacheKey struct {
+	name        string
+	srcHash     [32]byte
+	inlineLimit int
+	workers     int
+	analysis    string
+}
+
+type buildCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*Build
+	order   []cacheKey // insertion order for FIFO eviction
+	hits    int64
+	misses  int64
+}
+
+var cache = &buildCache{entries: map[cacheKey]*Build{}}
+
+// CacheStats reports build-cache effectiveness.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// Stats returns a snapshot of the build cache counters.
+func Stats() CacheStats {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return CacheStats{Hits: cache.hits, Misses: cache.misses, Entries: len(cache.entries)}
+}
+
+// ClearCache empties the build cache and resets its counters.
+func ClearCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.entries = map[cacheKey]*Build{}
+	cache.order = nil
+	cache.hits, cache.misses = 0, 0
+}
+
+// cacheable reports whether a build under these options may be cached:
+// caller-supplied analysis summaries are an out-of-band input the key
+// cannot capture, so such builds always compile fresh.
+func (o Options) cacheable() bool {
+	return !o.NoCache && o.Analysis.Summaries == nil
+}
+
+// key derives the cache key for one compilation.
+func (o Options) key(name, source string) cacheKey {
+	a := o.Analysis
+	a.Summaries = nil
+	return cacheKey{
+		name:        name,
+		srcHash:     sha256.Sum256([]byte(source)),
+		inlineLimit: o.InlineLimit,
+		workers:     o.Workers,
+		analysis:    fmt.Sprintf("%+v", a),
+	}
+}
+
+// get returns a caller-private copy of a cached build.
+func (c *buildCache) get(k cacheKey) (*Build, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	cp := *b
+	cp.CacheHit = true
+	return &cp, true
+}
+
+// put stores a build, evicting the oldest entry at capacity.
+func (c *buildCache) put(k cacheKey, b *Build) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return
+	}
+	if len(c.order) >= buildCacheMaxEntries {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[k] = b
+	c.order = append(c.order, k)
+}

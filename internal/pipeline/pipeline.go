@@ -45,6 +45,10 @@ type Options struct {
 	// deterministic: reports and elision bits are identical for any
 	// worker count.
 	Workers int
+	// NoCache disables the content-addressed build cache for this
+	// compilation (it neither reads nor stores an entry). Use it when
+	// measuring real compile times.
+	NoCache bool
 }
 
 // workerCount resolves the configured fan-out width.
@@ -72,6 +76,9 @@ type Build struct {
 	InlinedCalls int
 	// Report is the analysis report (nil for ModeNone).
 	Report *core.ProgramReport
+	// CacheHit reports that this Build was served from the build cache
+	// (its timing fields are the original compilation's).
+	CacheHit bool
 }
 
 // CompileTime is the total compile-side time.
@@ -107,8 +114,17 @@ func (b *Build) CompiledCodeSize() int {
 	return size
 }
 
-// Compile builds a program from MiniJava source.
+// Compile builds a program from MiniJava source. Identical inputs (same
+// source content, inline limit, worker count, and analysis options) are
+// served from a content-addressed cache unless Options.NoCache is set.
 func Compile(name, source string, opts Options) (*Build, error) {
+	var key cacheKey
+	if opts.cacheable() {
+		key = opts.key(name, source)
+		if b, ok := cache.get(key); ok {
+			return b, nil
+		}
+	}
 	b := &Build{Name: name, Options: opts}
 
 	start := time.Now()
@@ -147,6 +163,9 @@ func Compile(name, source string, opts Options) (*Build, error) {
 		}
 		b.AnalysisTime = time.Since(start)
 		b.Report = rep
+	}
+	if opts.cacheable() {
+		cache.put(key, b)
 	}
 	return b, nil
 }

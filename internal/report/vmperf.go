@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"satbelim/internal/core"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/satb"
+	"satbelim/internal/vm"
+	"satbelim/internal/workloads"
+)
+
+// VMPerfRow is one workload × engine point of the VM execution-engine
+// performance snapshot: wall time, instruction throughput, and Go heap
+// allocations per run. Fused rows additionally carry the speedup over
+// the switch interpreter on the same build (the BENCH_*.json trajectory's
+// VM-throughput metric).
+type VMPerfRow struct {
+	Workload    string  `json:"workload"`
+	Engine      string  `json:"engine"`
+	Steps       int64   `json:"steps"`
+	WallNs      int64   `json:"wall_ns"`
+	InstrPerSec float64 `json:"instr_per_sec"`
+	NsPerInstr  float64 `json:"ns_per_instr"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+// vmPerfReps is the number of timed repetitions per engine; the fastest
+// is reported (standard practice for wall-clock microbenchmarks).
+const vmPerfReps = 5
+
+// VMPerf compiles every workload in mode A and times one full run per
+// engine (including VM construction, so the fused engine's decode cost is
+// charged against it). Both engines execute the identical instruction
+// stream, so steps match and the wall-time ratio is a pure dispatch-
+// efficiency comparison.
+func VMPerf(inlineLimit int) ([]VMPerfRow, error) {
+	var rows []VMPerfRow
+	for _, w := range workloads.All() {
+		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+			InlineLimit: inlineLimit,
+			Analysis:    withBudget(core.Options{Mode: core.ModeFieldArray}),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vmperf %s: %w", w.Name, err)
+		}
+		var pair [2]VMPerfRow
+		for i, eng := range []vm.Engine{vm.EngineFused, vm.EngineSwitch} {
+			cfg := vm.Config{Barrier: satb.ModeConditional, Engine: eng}
+			best := time.Duration(0)
+			var allocs uint64
+			var steps int64
+			for rep := 0; rep < vmPerfReps; rep++ {
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				t0 := time.Now()
+				res, err := b.Run(cfg)
+				d := time.Since(t0)
+				runtime.ReadMemStats(&m1)
+				if err != nil {
+					return nil, fmt.Errorf("vmperf %s/%v: %w", w.Name, eng, err)
+				}
+				steps = res.Steps
+				if rep == 0 || d < best {
+					best = d
+					allocs = m1.Mallocs - m0.Mallocs
+				}
+			}
+			row := VMPerfRow{
+				Workload:    w.Name,
+				Engine:      eng.String(),
+				Steps:       steps,
+				WallNs:      best.Nanoseconds(),
+				AllocsPerOp: allocs,
+			}
+			if best > 0 {
+				row.InstrPerSec = float64(steps) / best.Seconds()
+				row.NsPerInstr = float64(best.Nanoseconds()) / float64(steps)
+			}
+			pair[i] = row
+		}
+		if pair[0].WallNs > 0 {
+			pair[0].Speedup = float64(pair[1].WallNs) / float64(pair[0].WallNs)
+		}
+		rows = append(rows, pair[0], pair[1])
+	}
+	return rows, nil
+}
+
+// VMPerfGeomeanSpeedup returns the geometric-mean fused-over-switch
+// speedup across the rows (0 when no fused rows are present).
+func VMPerfGeomeanSpeedup(rows []VMPerfRow) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		if r.Speedup > 0 {
+			logSum += math.Log(r.Speedup)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// FormatVMPerf renders the execution-engine performance rows.
+func FormatVMPerf(rows []VMPerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM execution-engine performance (mode A, conditional barriers)\n")
+	fmt.Fprintf(&b, "%-7s %-7s %12s %12s %12s %10s %8s\n",
+		"bench", "engine", "steps", "Minstr/s", "ns/instr", "allocs/op", "speedup")
+	for _, r := range rows {
+		speedup := ""
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(&b, "%-7s %-7s %12d %12.2f %12.2f %10d %8s\n",
+			r.Workload, r.Engine, r.Steps, r.InstrPerSec/1e6, r.NsPerInstr,
+			r.AllocsPerOp, speedup)
+	}
+	if g := VMPerfGeomeanSpeedup(rows); g > 0 {
+		fmt.Fprintf(&b, "geomean fused speedup: %.2fx\n", g)
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVMPerfShape(t *testing.T) {
+	rows, err := VMPerf(DefaultInlineLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 6 workloads × 2 engines
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		fused, sw := rows[i], rows[i+1]
+		if fused.Engine != "fused" || sw.Engine != "switch" {
+			t.Fatalf("row pair %d: engines %q/%q", i, fused.Engine, sw.Engine)
+		}
+		if fused.Workload != sw.Workload {
+			t.Fatalf("row pair %d: workload mismatch %q vs %q", i, fused.Workload, sw.Workload)
+		}
+		// Both engines execute the identical instruction stream.
+		if fused.Steps != sw.Steps {
+			t.Errorf("%s: steps diverge: fused %d vs switch %d", fused.Workload, fused.Steps, sw.Steps)
+		}
+		if fused.Steps <= 0 || fused.WallNs <= 0 || sw.WallNs <= 0 {
+			t.Errorf("%s: non-positive steps/wall time", fused.Workload)
+		}
+		if fused.Speedup <= 0 {
+			t.Errorf("%s: fused row missing speedup", fused.Workload)
+		}
+		if sw.Speedup != 0 {
+			t.Errorf("%s: switch row must not carry a speedup", sw.Workload)
+		}
+	}
+	if g := VMPerfGeomeanSpeedup(rows); g <= 0 {
+		t.Errorf("geomean = %v, want > 0", g)
+	}
+	out := FormatVMPerf(rows)
+	for _, want := range []string{"jess", "jbb", "fused", "switch", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q", want)
+		}
+	}
+}
+
+func TestVMPerfGeomeanEmpty(t *testing.T) {
+	if g := VMPerfGeomeanSpeedup(nil); g != 0 {
+		t.Errorf("geomean of no rows = %v, want 0", g)
+	}
+	if g := VMPerfGeomeanSpeedup([]VMPerfRow{{Engine: "switch"}}); g != 0 {
+		t.Errorf("geomean with no fused rows = %v, want 0", g)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"satbelim/internal/heap"
+	"satbelim/internal/num"
 )
 
 // BarrierMode selects the barrier configuration (Table 2's three modes,
@@ -305,13 +306,23 @@ func (n *NopLogger) DirtyCard(r heap.Ref)                  {}
 func (n *NopLogger) TraceStateOf(heap.Ref) heap.TraceState { return heap.TraceUntraced }
 func (n *NopLogger) Retrace(heap.Ref)                      {}
 
+// addCost accumulates barrier cost units, saturating instead of wrapping
+// so cost-model comparisons stay monotone under pathological run lengths.
+func (c *Counters) addCost(units uint64) { c.Cost = num.AddSat(c.Cost, units) }
+
 // Barrier executes the write barrier for a reference store of newVal whose
 // overwritten value was pre. elide reflects the compile-time analysis
 // verdict for the site; the instrumentation still observes elided stores
 // (to validate soundness and compute the pre-null upper bound) but pays no
 // barrier cost for them.
 func (c *Counters) Barrier(mode BarrierMode, log Logger, key SiteKey, kind SiteKind, elide ElideKind, pre, newVal, target heap.Ref) {
-	s := c.Site(key, kind, elide)
+	c.BarrierSite(mode, log, c.Site(key, kind, elide), elide, pre, newVal, target)
+}
+
+// BarrierSite is Barrier with the site's stats record already resolved.
+// The pre-decoded VM engine resolves each store site once at decode time
+// and calls this directly, removing the per-execution map lookup.
+func (c *Counters) BarrierSite(mode BarrierMode, log Logger, s *SiteStats, elide ElideKind, pre, newVal, target heap.Ref) {
 	s.Execs++
 	if pre == heap.Null {
 		s.PreNull++
@@ -324,20 +335,20 @@ func (c *Counters) Barrier(mode BarrierMode, log Logger, key SiteKey, kind SiteK
 		// check; overlap with the collector's scan schedules a retrace.
 		// Under card marking the site degrades to a normal card store.
 		if mode == ModeCardMarking {
-			c.Cost += CostCard
+			c.addCost(CostCard)
 			c.CardsDirtied++
 			log.DirtyCard(target)
 			return
 		}
 		if mode == ModeNoBarrier || !log.MarkingActive() {
 			if mode == ModeConditional {
-				c.Cost += CostCheckOnly
+				c.addCost(CostCheckOnly)
 			}
 			return
 		}
-		c.Cost += CostTraceCheck
+		c.addCost(CostTraceCheck)
 		if log.TraceStateOf(target) != heap.TraceUntraced {
-			c.Cost += CostRetrace
+			c.addCost(CostRetrace)
 			s.Retraces++
 			log.Retrace(target)
 		}
@@ -350,28 +361,28 @@ func (c *Counters) Barrier(mode BarrierMode, log Logger, key SiteKey, kind SiteK
 	case ModeNoBarrier:
 	case ModeConditional:
 		if !log.MarkingActive() {
-			c.Cost += CostCheckOnly
+			c.addCost(CostCheckOnly)
 			return
 		}
 		if pre == heap.Null {
-			c.Cost += CostPreNull
+			c.addCost(CostPreNull)
 			return
 		}
-		c.Cost += CostLogged
+		c.addCost(CostLogged)
 		c.Logged++
 		log.LogPreValue(pre)
 	case ModeAlwaysLog:
 		if pre == heap.Null {
-			c.Cost += CostAlwaysPreNull
+			c.addCost(CostAlwaysPreNull)
 			return
 		}
-		c.Cost += CostAlwaysLogged
+		c.addCost(CostAlwaysLogged)
 		c.Logged++
 		if log.MarkingActive() {
 			log.LogPreValue(pre)
 		}
 	case ModeCardMarking:
-		c.Cost += CostCard
+		c.addCost(CostCard)
 		c.CardsDirtied++
 		log.DirtyCard(target)
 	}
@@ -385,28 +396,28 @@ func (c *Counters) StaticBarrier(mode BarrierMode, log Logger, pre heap.Ref) {
 	case ModeNoBarrier:
 	case ModeConditional:
 		if !log.MarkingActive() {
-			c.Cost += CostCheckOnly
+			c.addCost(CostCheckOnly)
 			return
 		}
 		if pre == heap.Null {
-			c.Cost += CostPreNull
+			c.addCost(CostPreNull)
 			return
 		}
-		c.Cost += CostLogged
+		c.addCost(CostLogged)
 		c.Logged++
 		log.LogPreValue(pre)
 	case ModeAlwaysLog:
 		if pre == heap.Null {
-			c.Cost += CostAlwaysPreNull
+			c.addCost(CostAlwaysPreNull)
 			return
 		}
-		c.Cost += CostAlwaysLogged
+		c.addCost(CostAlwaysLogged)
 		c.Logged++
 		if log.MarkingActive() {
 			log.LogPreValue(pre)
 		}
 	case ModeCardMarking:
-		c.Cost += CostCard
+		c.addCost(CostCard)
 		c.CardsDirtied++
 	}
 }

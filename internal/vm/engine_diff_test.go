@@ -1,0 +1,196 @@
+package vm_test
+
+// Differential harness for the two execution engines: every workload runs
+// under both the pre-decoded fused engine and the reference switch
+// interpreter across the barrier modes and analysis configurations of the
+// paper's evaluation, with and without the runtime elision oracle, and
+// the Results must be bit-identical — output, step counts, GC cycles,
+// allocation/sweep totals, oracle check counts, and the full per-site
+// barrier counters.
+
+import (
+	"reflect"
+	"testing"
+
+	"satbelim/internal/core"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/satb"
+	"satbelim/internal/vm"
+	"satbelim/internal/workloads"
+)
+
+// diffConfig is one compile+run configuration of the sweep.
+type diffConfig struct {
+	name     string
+	analysis core.Options
+	run      vm.Config
+}
+
+func diffConfigs() []diffConfig {
+	return []diffConfig{
+		{
+			name: "nobarrier",
+			run:  vm.Config{Barrier: satb.ModeNoBarrier},
+		},
+		{
+			name: "alwayslog",
+			run:  vm.Config{Barrier: satb.ModeAlwaysLog},
+		},
+		{
+			name:     "alwayslog-elim",
+			analysis: core.Options{Mode: core.ModeFieldArray, NullOrSame: true, Rearrange: true},
+			run:      vm.Config{Barrier: satb.ModeAlwaysLog},
+		},
+		{
+			name:     "conditional-gc",
+			analysis: core.Options{Mode: core.ModeFieldArray, NullOrSame: true, Rearrange: true},
+			run: vm.Config{
+				Barrier:            satb.ModeConditional,
+				GC:                 vm.GCSATB,
+				TriggerEveryAllocs: 64,
+				CheckInvariant:     true,
+			},
+		},
+	}
+}
+
+// runEngine executes one build on one engine.
+func runEngine(t *testing.T, bd *pipeline.Build, cfg vm.Config, eng vm.Engine) *vm.Result {
+	t.Helper()
+	cfg.Engine = eng
+	res, err := bd.Run(cfg)
+	if err != nil {
+		t.Fatalf("engine %v: %v", eng, err)
+	}
+	return res
+}
+
+// assertIdentical compares every semantic field of two Results (Engine is
+// the one intentionally differing, informational field).
+func assertIdentical(t *testing.T, fused, sw *vm.Result) {
+	t.Helper()
+	if fused.Engine != "fused" || sw.Engine != "switch" {
+		t.Fatalf("engine labels: fused=%q switch=%q", fused.Engine, sw.Engine)
+	}
+	if !reflect.DeepEqual(fused.Output, sw.Output) {
+		t.Errorf("Output differs: fused %d values, switch %d values", len(fused.Output), len(sw.Output))
+	}
+	if fused.Steps != sw.Steps {
+		t.Errorf("Steps: fused %d, switch %d", fused.Steps, sw.Steps)
+	}
+	if fused.Cycles != sw.Cycles {
+		t.Errorf("Cycles: fused %d, switch %d", fused.Cycles, sw.Cycles)
+	}
+	if fused.FinalPauseWork != sw.FinalPauseWork {
+		t.Errorf("FinalPauseWork: fused %d, switch %d", fused.FinalPauseWork, sw.FinalPauseWork)
+	}
+	if fused.Allocated != sw.Allocated {
+		t.Errorf("Allocated: fused %d, switch %d", fused.Allocated, sw.Allocated)
+	}
+	if fused.Swept != sw.Swept {
+		t.Errorf("Swept: fused %d, switch %d", fused.Swept, sw.Swept)
+	}
+	if fused.ElisionChecks != sw.ElisionChecks {
+		t.Errorf("ElisionChecks: fused %d, switch %d", fused.ElisionChecks, sw.ElisionChecks)
+	}
+	if fused.TotalCost() != sw.TotalCost() {
+		t.Errorf("TotalCost: fused %d, switch %d", fused.TotalCost(), sw.TotalCost())
+	}
+	// The counters must match to the last per-site statistic, including
+	// which sites exist at all (site stats are created lazily on first
+	// execution in both engines).
+	if !reflect.DeepEqual(fused.Counters, sw.Counters) {
+		fs, ss := fused.Counters.Summarize(), sw.Counters.Summarize()
+		t.Errorf("Counters differ: fused {cost=%d logged=%d execs=%d sites=%d} switch {cost=%d logged=%d execs=%d sites=%d}",
+			fused.Counters.Cost, fused.Counters.Logged, fs.TotalExecs, len(fused.Counters.Sites()),
+			sw.Counters.Cost, sw.Counters.Logged, ss.TotalExecs, len(sw.Counters.Sites()))
+	}
+}
+
+// TestEngineDifferentialWorkloads sweeps all six Table 1 workloads across
+// barrier modes × analysis configurations × oracle on/off.
+func TestEngineDifferentialWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, dc := range diffConfigs() {
+			bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+				InlineLimit: 100,
+				Analysis:    dc.analysis,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", w.Name, dc.name, err)
+			}
+			for _, oracle := range []bool{false, true} {
+				name := w.Name + "/" + dc.name
+				if oracle {
+					name += "/oracle"
+				}
+				t.Run(name, func(t *testing.T) {
+					cfg := dc.run
+					cfg.CheckElisions = oracle
+					fused := runEngine(t, bd, cfg, vm.EngineFused)
+					sw := runEngine(t, bd, cfg, vm.EngineSwitch)
+					assertIdentical(t, fused, sw)
+					if oracle && fused.ElisionChecks == 0 && dc.analysis.Mode != core.ModeNone {
+						t.Error("oracle ran but validated no elided stores")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineDifferentialQuantumBoundaries stresses the fused-op gating at
+// scheduler quantum boundaries: tiny odd quanta force superinstructions
+// to straddle quantum ends and fall back to the per-instruction path
+// mid-sequence, which must not perturb any observable result.
+func TestEngineDifferentialQuantumBoundaries(t *testing.T) {
+	w, err := workloads.Get("jbb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+		InlineLimit: 100,
+		Analysis:    core.Options{Mode: core.ModeFieldArray, NullOrSame: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, quantum := range []int{1, 2, 3, 5, 7, 13, 64} {
+		cfg := vm.Config{
+			Barrier:            satb.ModeConditional,
+			GC:                 vm.GCSATB,
+			TriggerEveryAllocs: 32,
+			Quantum:            quantum,
+		}
+		fused := runEngine(t, bd, cfg, vm.EngineFused)
+		sw := runEngine(t, bd, cfg, vm.EngineSwitch)
+		t.Run("quantum", func(t *testing.T) { assertIdentical(t, fused, sw) })
+	}
+}
+
+// TestEngineDifferentialStepBudget verifies that budget exhaustion
+// surfaces at the identical instruction on both engines (a fused form
+// must never over- or under-run MaxSteps).
+func TestEngineDifferentialStepBudget(t *testing.T) {
+	w, err := workloads.Get("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{1, 7, 100, 1001, 4999} {
+		cfg := vm.Config{Barrier: satb.ModeAlwaysLog, MaxSteps: budget}
+		cfg.Engine = vm.EngineFused
+		_, ferr := bd.Run(cfg)
+		cfg.Engine = vm.EngineSwitch
+		_, serr := bd.Run(cfg)
+		if ferr == nil || serr == nil {
+			t.Fatalf("budget %d: expected exhaustion on both engines (fused=%v switch=%v)", budget, ferr, serr)
+		}
+		if ferr.Error() != serr.Error() {
+			t.Errorf("budget %d: fused error %q, switch error %q", budget, ferr, serr)
+		}
+	}
+}

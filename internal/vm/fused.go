@@ -1,0 +1,553 @@
+package vm
+
+import (
+	"fmt"
+
+	"satbelim/internal/heap"
+	"satbelim/internal/satb"
+)
+
+// This file is the execution half of the pre-decoded engine. It mirrors
+// the reference switch interpreter instruction for instruction — same
+// step accounting, same scheduler-quantum boundaries, same error strings
+// and error pcs, same barrier/oracle call order — so results are
+// bit-identical. The wins are structural: operands resolved at decode
+// time, pooled frames, an explicit stack pointer instead of slice
+// reslicing, and superinstructions that collapse the hottest 2–4
+// instruction sequences into one dispatch.
+
+// fframe is a pooled activation record. stack is used with an explicit
+// stack pointer (sp) and grows on demand, so unverified programs with an
+// understated MaxStack behave like the baseline's append-based stack.
+type fframe struct {
+	m      *dmethod
+	pc     int32
+	sp     int32
+	locals []heap.Value
+	stack  []heap.Value
+}
+
+func (f *fframe) push(val heap.Value) {
+	if int(f.sp) == len(f.stack) {
+		f.stack = append(f.stack, heap.Value{})
+	}
+	f.stack[f.sp] = val
+	f.sp++
+}
+
+func (f *fframe) pop() heap.Value {
+	f.sp--
+	return f.stack[f.sp]
+}
+
+// fthread is one cooperative thread of the fused engine.
+type fthread struct {
+	id     int
+	frames []*fframe
+	done   bool
+}
+
+// ferrf builds a RuntimeError at the frame's current pc.
+func (v *VM) ferrf(f *fframe, format string, args ...any) error {
+	line := 0
+	if int(f.pc) < len(f.m.code) {
+		line = int(f.m.code[f.pc].line)
+	}
+	return &RuntimeError{Method: f.m.name, PC: int(f.pc), Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// refStoreBarrier runs the oracle check and the write barrier for one
+// reference store, identical in order and observable effect to the switch
+// interpreter's putfield/aastore tail. Site statistics are resolved
+// lazily so that never-executed sites leave no trace in the counters.
+func (v *VM) refStoreBarrier(t *fthread, f *fframe, pc int, kind satb.SiteKind, siteIdx int32, pre, newR, target heap.Ref) error {
+	rec := &f.m.sites[siteIdx]
+	if v.oracle != nil {
+		if err := v.oracle.checkStore(f.m.name, pc, int(f.m.code[pc].line), t.id, kind, rec.elide, pre, newR, target); err != nil {
+			return err
+		}
+	}
+	if rec.stats == nil {
+		rec.stats = v.counters.Site(rec.key, rec.kind, rec.elide)
+	}
+	v.counters.BarrierSite(v.cfg.Barrier, v.logger(), rec.stats, rec.elide, pre, newR, target)
+	return nil
+}
+
+// runFused executes the program on the pre-decoded engine. The loop shape
+// is the switch engine's: round-robin over live threads, one quantum
+// each, collector tick after every quantum.
+func (v *VM) runFused() (*Result, error) {
+	v.fthreads = []*fthread{{frames: []*fframe{v.dprog.main.acquire()}}}
+	if v.cfg.ForceMarkingAlways && v.marker != nil {
+		v.startCycle()
+	}
+
+	for {
+		live := 0
+		for _, t := range v.fthreads {
+			if !t.done {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		for _, t := range v.fthreads {
+			if t.done {
+				continue
+			}
+			if err := v.runFusedQuantum(t); err != nil {
+				return nil, err
+			}
+			v.gcTick()
+		}
+	}
+	if v.marker != nil && v.marker.MarkingActive() {
+		v.finishCycle()
+	}
+	return v.result(), nil
+}
+
+// runFusedQuantum executes up to Quantum base instructions on one thread.
+// A superinstruction covering n base instructions executes only when all
+// n fit in both the remaining quantum and the remaining instruction
+// budget; otherwise the plain per-pc instructions run, so thread rotation
+// and budget exhaustion happen at exactly the same instruction as in the
+// reference engine.
+func (v *VM) runFusedQuantum(t *fthread) error {
+	q := v.cfg.Quantum
+	for i := 0; i < q; {
+		if len(t.frames) == 0 {
+			t.done = true
+			return nil
+		}
+		if v.steps >= v.maxSteps {
+			return fmt.Errorf("vm: instruction budget exhausted (%d)", v.maxSteps)
+		}
+		f := t.frames[len(t.frames)-1]
+		if int(f.pc) >= len(f.m.code) {
+			return v.ferrf(f, "pc past end of method")
+		}
+		in := &f.m.code[f.pc]
+		if in.fuse >= 0 {
+			fi := &f.m.fused[in.fuse]
+			n := int(fi.n)
+			if i+n <= q && v.steps+int64(n) <= v.maxSteps {
+				if err := v.execFused(t, f, fi); err != nil {
+					return err
+				}
+				i += n
+				continue
+			}
+		}
+		if err := v.stepFused(t, f, in); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// stepFused executes one plain decoded instruction. It is the switch
+// interpreter's step() over the resolved form.
+func (v *VM) stepFused(t *fthread, f *fframe, in *dinstr) error {
+	v.steps++
+
+	switch in.op {
+	case dNop:
+	case dConst:
+		f.push(heap.IntVal(in.imm))
+	case dConstNull:
+		f.push(heap.NullVal())
+	case dLoad:
+		f.push(f.locals[in.a])
+	case dStore:
+		f.locals[in.a] = f.pop()
+	case dDup:
+		f.push(f.stack[f.sp-1])
+	case dPop:
+		f.sp--
+	case dAdd, dSub, dMul:
+		y, x := f.pop().I, f.pop().I
+		f.push(heap.IntVal(arith(in.op, x, y)))
+	case dDiv, dRem:
+		y, x := f.pop().I, f.pop().I
+		if y == 0 {
+			return v.ferrf(f, "division by zero")
+		}
+		if in.op == dDiv {
+			f.push(heap.IntVal(x / y))
+		} else {
+			f.push(heap.IntVal(x % y))
+		}
+	case dNeg:
+		f.push(heap.IntVal(-f.pop().I))
+	case dAnd:
+		y, x := f.pop().I, f.pop().I
+		f.push(heap.IntVal(x & y))
+	case dOr:
+		y, x := f.pop().I, f.pop().I
+		f.push(heap.IntVal(x | y))
+	case dNot:
+		f.push(heap.IntVal(1 - f.pop().I))
+	case dCmpEQ, dCmpNE, dCmpLT, dCmpLE, dCmpGT, dCmpGE:
+		y, x := f.pop().I, f.pop().I
+		f.push(heap.IntVal(b2i(intCmp(in.op, x, y))))
+	case dRefEQ:
+		y, x := f.pop().R, f.pop().R
+		f.push(heap.IntVal(b2i(x == y)))
+	case dRefNE:
+		y, x := f.pop().R, f.pop().R
+		f.push(heap.IntVal(b2i(x != y)))
+
+	case dGoto:
+		f.pc = in.a
+		return nil
+	case dIfTrue:
+		if f.pop().I != 0 {
+			f.pc = in.a
+			return nil
+		}
+	case dIfFalse:
+		if f.pop().I == 0 {
+			f.pc = in.a
+			return nil
+		}
+	case dIfNull:
+		if f.pop().R == heap.Null {
+			f.pc = in.a
+			return nil
+		}
+	case dIfNonNull:
+		if f.pop().R != heap.Null {
+			f.pc = in.a
+			return nil
+		}
+
+	case dGetFieldRef, dGetFieldInt:
+		obj := f.pop()
+		fr := &f.m.fields[in.a]
+		if obj.R == heap.Null {
+			return v.ferrf(f, "null pointer dereference reading %s", fr.ref)
+		}
+		o := v.heap.Get(obj.R)
+		if o == nil {
+			return v.ferrf(f, "heap: null dereference reading %s", fr.ref)
+		}
+		val := o.Fields[fr.idx]
+		if in.op == dGetFieldRef {
+			val.IsRef = true
+		}
+		f.push(val)
+	case dPutFieldRef, dPutFieldInt:
+		val := f.pop()
+		obj := f.pop()
+		fr := &f.m.fields[in.a]
+		if obj.R == heap.Null {
+			return v.ferrf(f, "null pointer dereference writing %s", fr.ref)
+		}
+		o := v.heap.Get(obj.R)
+		if o == nil {
+			return v.ferrf(f, "heap: null dereference writing %s", fr.ref)
+		}
+		old := o.Fields[fr.idx]
+		o.Fields[fr.idx] = val
+		if in.op == dPutFieldRef {
+			if err := v.refStoreBarrier(t, f, int(f.pc), satb.FieldSite, in.b, old.R, val.R, obj.R); err != nil {
+				return err
+			}
+		}
+	case dGetStaticRef, dGetStaticInt:
+		val := v.heap.GetStatic(f.m.statics[in.a].ref)
+		if in.op == dGetStaticRef {
+			val.IsRef = true
+		}
+		f.push(val)
+	case dPutStaticRef:
+		val := f.pop()
+		old := v.heap.SetStatic(f.m.statics[in.a].ref, val)
+		if v.oracle != nil {
+			// Statics are globally reachable: the stored object (and
+			// everything it reaches) is published.
+			v.oracle.escape(val.R)
+		}
+		v.counters.StaticBarrier(v.cfg.Barrier, v.logger(), old.R)
+	case dPutStaticInt:
+		v.heap.SetStatic(f.m.statics[in.a].ref, f.pop())
+
+	case dNewInstance:
+		al := &f.m.allocs[in.a]
+		r := v.heap.AllocObjectN(al.class, al.nFields)
+		v.allocSinceGC++
+		if v.oracle != nil {
+			v.oracle.noteAlloc(r, f.m.name, int(f.pc), t.id)
+		}
+		f.push(heap.RefVal(r))
+	case dNewArrayRef, dNewArrayInt:
+		n := f.pop().I
+		if n < 0 {
+			return v.ferrf(f, "negative array size %d", n)
+		}
+		r, err := v.heap.AllocArray(in.op == dNewArrayRef, n)
+		if err != nil {
+			return v.ferrf(f, "%v", err)
+		}
+		v.allocSinceGC++
+		if v.oracle != nil {
+			v.oracle.noteAlloc(r, f.m.name, int(f.pc), t.id)
+		}
+		f.push(heap.RefVal(r))
+	case dArrayLength:
+		arr := f.pop()
+		if arr.R == heap.Null {
+			return v.ferrf(f, "null pointer dereference in arraylength")
+		}
+		o := v.heap.Get(arr.R)
+		if o == nil {
+			return v.ferrf(f, "heap: null array dereference")
+		}
+		f.push(heap.IntVal(int64(len(o.Elems))))
+
+	case dAALoad, dIALoad:
+		idx := f.pop().I
+		arr := f.pop()
+		if arr.R == heap.Null {
+			return v.ferrf(f, "null pointer dereference in array load")
+		}
+		o := v.heap.Get(arr.R)
+		if o == nil {
+			return v.ferrf(f, "heap: null array dereference")
+		}
+		if idx < 0 || idx >= int64(len(o.Elems)) {
+			return v.ferrf(f, "heap: index %d out of bounds [0,%d)", idx, len(o.Elems))
+		}
+		val := o.Elems[idx]
+		if in.op == dAALoad {
+			val.IsRef = true
+		}
+		f.push(val)
+	case dAAStore, dIAStore:
+		val := f.pop()
+		idx := f.pop().I
+		arr := f.pop()
+		if arr.R == heap.Null {
+			return v.ferrf(f, "null pointer dereference in array store")
+		}
+		o := v.heap.Get(arr.R)
+		if o == nil {
+			return v.ferrf(f, "heap: null array dereference")
+		}
+		if idx < 0 || idx >= int64(len(o.Elems)) {
+			return v.ferrf(f, "heap: index %d out of bounds [0,%d)", idx, len(o.Elems))
+		}
+		old := o.Elems[idx]
+		o.Elems[idx] = val
+		if in.op == dAAStore {
+			if err := v.refStoreBarrier(t, f, int(f.pc), satb.ArraySite, in.b, old.R, val.R, arr.R); err != nil {
+				return err
+			}
+		}
+
+	case dInvoke:
+		cr := &f.m.callees[in.a]
+		callee := cr.m
+		nf := callee.acquire()
+		n := int32(callee.numArgs)
+		base := f.sp - n
+		copy(nf.locals[:n], f.stack[base:f.sp])
+		f.sp = base
+		if !callee.static && nf.locals[0].R == heap.Null {
+			callee.release(nf)
+			return v.ferrf(f, "null receiver calling %s", cr.ref)
+		}
+		f.pc++
+		t.frames = append(t.frames, nf)
+		return nil
+	case dSpawn:
+		recv := f.pop()
+		if recv.R == heap.Null {
+			return v.ferrf(f, "null receiver in spawn")
+		}
+		nf := f.m.callees[in.a].m.acquire()
+		nf.locals[0] = recv
+		if v.oracle != nil {
+			// The receiver (and everything it reaches) becomes visible to
+			// the spawned thread.
+			v.oracle.escape(recv.R)
+		}
+		v.fthreads = append(v.fthreads, &fthread{id: len(v.fthreads), frames: []*fframe{nf}})
+	case dReturn:
+		t.frames = t.frames[:len(t.frames)-1]
+		f.m.release(f)
+		return nil
+	case dReturnValue:
+		rv := f.pop()
+		t.frames = t.frames[:len(t.frames)-1]
+		f.m.release(f)
+		if len(t.frames) > 0 {
+			t.frames[len(t.frames)-1].push(rv)
+		}
+		return nil
+	case dPrint:
+		v.output = append(v.output, f.pop().I)
+	case dTrap:
+		return v.ferrf(f, "missing return value")
+	}
+	f.pc++
+	return nil
+}
+
+// execFused executes one superinstruction covering fi.n base
+// instructions. Steps are credited up front: every error a fused form can
+// raise occurs at its final component, by which point the baseline would
+// have counted all n components too. Error paths first move f.pc to the
+// failing component so diagnostics match the reference engine exactly.
+func (v *VM) execFused(t *fthread, f *fframe, fi *finstr) error {
+	v.steps += int64(fi.n)
+
+	switch fi.op {
+	case fLLCmpBr, fLCCmpBr:
+		x := f.locals[fi.a].I
+		y := fi.imm
+		if fi.op == fLLCmpBr {
+			y = f.locals[fi.b].I
+		}
+		if intCmp(dop(fi.c), x, y) == (fi.e != 0) {
+			f.pc = fi.d
+		} else {
+			f.pc += int32(fi.n)
+		}
+	case fIncLocal:
+		f.locals[fi.b] = heap.IntVal(arith(dop(fi.c), f.locals[fi.a].I, fi.imm))
+		f.pc += 4
+	case fLLArith:
+		f.push(heap.IntVal(arith(dop(fi.c), f.locals[fi.a].I, f.locals[fi.b].I)))
+		f.pc += 3
+	case fLCArith:
+		f.push(heap.IntVal(arith(dop(fi.c), f.locals[fi.a].I, fi.imm)))
+		f.pc += 3
+	case fConstStore:
+		f.locals[fi.b] = heap.IntVal(fi.imm)
+		f.pc += 2
+
+	case fLGetFieldRef, fLGetFieldInt:
+		obj := f.locals[fi.a]
+		fr := &f.m.fields[fi.b]
+		if obj.R == heap.Null {
+			f.pc++
+			return v.ferrf(f, "null pointer dereference reading %s", fr.ref)
+		}
+		o := v.heap.Get(obj.R)
+		if o == nil {
+			f.pc++
+			return v.ferrf(f, "heap: null dereference reading %s", fr.ref)
+		}
+		val := o.Fields[fr.idx]
+		if fi.op == fLGetFieldRef {
+			val.IsRef = true
+		}
+		f.push(val)
+		f.pc += 2
+	case fLLPutFieldRef, fLLPutFieldInt:
+		obj := f.locals[fi.a]
+		val := f.locals[fi.b]
+		fr := &f.m.fields[fi.c]
+		if obj.R == heap.Null {
+			f.pc += 2
+			return v.ferrf(f, "null pointer dereference writing %s", fr.ref)
+		}
+		o := v.heap.Get(obj.R)
+		if o == nil {
+			f.pc += 2
+			return v.ferrf(f, "heap: null dereference writing %s", fr.ref)
+		}
+		old := o.Fields[fr.idx]
+		o.Fields[fr.idx] = val
+		if fi.op == fLLPutFieldRef {
+			if err := v.refStoreBarrier(t, f, int(f.pc)+2, satb.FieldSite, fi.site, old.R, val.R, obj.R); err != nil {
+				return err
+			}
+		}
+		f.pc += 3
+
+	case fLLAALoad, fLLIALoad:
+		arr := f.locals[fi.a]
+		idx := f.locals[fi.b].I
+		if arr.R == heap.Null {
+			f.pc += 2
+			return v.ferrf(f, "null pointer dereference in array load")
+		}
+		o := v.heap.Get(arr.R)
+		if o == nil {
+			f.pc += 2
+			return v.ferrf(f, "heap: null array dereference")
+		}
+		if idx < 0 || idx >= int64(len(o.Elems)) {
+			f.pc += 2
+			return v.ferrf(f, "heap: index %d out of bounds [0,%d)", idx, len(o.Elems))
+		}
+		val := o.Elems[idx]
+		if fi.op == fLLAALoad {
+			val.IsRef = true
+		}
+		f.push(val)
+		f.pc += 3
+	case fLLLAAStore, fLLLIAStore:
+		arr := f.locals[fi.a]
+		idx := f.locals[fi.b].I
+		val := f.locals[fi.c]
+		if arr.R == heap.Null {
+			f.pc += 3
+			return v.ferrf(f, "null pointer dereference in array store")
+		}
+		o := v.heap.Get(arr.R)
+		if o == nil {
+			f.pc += 3
+			return v.ferrf(f, "heap: null array dereference")
+		}
+		if idx < 0 || idx >= int64(len(o.Elems)) {
+			f.pc += 3
+			return v.ferrf(f, "heap: index %d out of bounds [0,%d)", idx, len(o.Elems))
+		}
+		old := o.Elems[idx]
+		o.Elems[idx] = val
+		if fi.op == fLLLAAStore {
+			if err := v.refStoreBarrier(t, f, int(f.pc)+3, satb.ArraySite, fi.site, old.R, val.R, arr.R); err != nil {
+				return err
+			}
+		}
+		f.pc += 4
+	}
+	return nil
+}
+
+// arith evaluates the fusible arithmetic ops.
+func arith(op dop, x, y int64) int64 {
+	switch op {
+	case dAdd:
+		return x + y
+	case dSub:
+		return x - y
+	default:
+		return x * y
+	}
+}
+
+// intCmp evaluates the integer comparisons.
+func intCmp(op dop, x, y int64) bool {
+	switch op {
+	case dCmpEQ:
+		return x == y
+	case dCmpNE:
+		return x != y
+	case dCmpLT:
+		return x < y
+	case dCmpLE:
+		return x <= y
+	case dCmpGT:
+		return x > y
+	default:
+		return x >= y
+	}
+}

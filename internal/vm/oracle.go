@@ -104,10 +104,11 @@ func (o *oracle) allocSiteOf(r heap.Ref) string {
 }
 
 // checkStore validates one reference store and maintains escape state.
-// pre is the overwritten value, newVal the stored value, target the
-// written object. It returns a *SoundnessViolation when an elided site's
-// dynamic execution contradicts the analysis claim.
-func (o *oracle) checkStore(f *frame, tid int, site satb.SiteKind, elide satb.ElideKind, pre, newVal, target heap.Ref) error {
+// method/pc/line locate the store site (both execution engines report the
+// bytecode pc). pre is the overwritten value, newVal the stored value,
+// target the written object. It returns a *SoundnessViolation when an
+// elided site's dynamic execution contradicts the analysis claim.
+func (o *oracle) checkStore(method string, pc, line, tid int, site satb.SiteKind, elide satb.ElideKind, pre, newVal, target heap.Ref) error {
 	m := o.meta[target]
 	// A store from a thread other than the allocator proves the object is
 	// shared, whether or not a publication event was observed.
@@ -115,12 +116,8 @@ func (o *oracle) checkStore(f *frame, tid int, site satb.SiteKind, elide satb.El
 		m.escaped = true
 	}
 	violation := func(reason string) error {
-		line := 0
-		if f.pc < len(f.m.Code) {
-			line = f.m.Code[f.pc].Line
-		}
 		return &SoundnessViolation{
-			Method: f.m.QualifiedName(), PC: f.pc, Line: line,
+			Method: method, PC: pc, Line: line,
 			Site: site, Elide: elide,
 			Pre: pre, New: newVal, Target: target,
 			AllocSite: o.allocSiteOf(target), Reason: reason,

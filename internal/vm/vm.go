@@ -11,6 +11,7 @@ import (
 	"satbelim/internal/bytecode"
 	"satbelim/internal/gc"
 	"satbelim/internal/heap"
+	"satbelim/internal/num"
 	"satbelim/internal/satb"
 )
 
@@ -27,10 +28,48 @@ const (
 	GCIncremental
 )
 
+// Engine selects the execution engine.
+type Engine int
+
+const (
+	// EngineFused (the default) runs the pre-decoded execution engine:
+	// bytecode is translated at VM construction into a dense internal form
+	// with resolved operands (field offsets, call targets, site records),
+	// hot instruction sequences are fused into superinstructions, and
+	// frames are pooled. Results are bit-identical to EngineSwitch. When a
+	// program cannot be decoded (unresolved references), the VM silently
+	// falls back to the switch interpreter, which reports the failure with
+	// its usual runtime errors.
+	EngineFused Engine = iota
+	// EngineSwitch is the reference interpreter: a giant switch over the
+	// raw bytecode, kept as the differential-testing baseline.
+	EngineSwitch
+)
+
+func (e Engine) String() string {
+	if e == EngineSwitch {
+		return "switch"
+	}
+	return "fused"
+}
+
+// ParseEngine parses an engine name ("fused" or "switch").
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "fused", "":
+		return EngineFused, nil
+	case "switch":
+		return EngineSwitch, nil
+	}
+	return EngineFused, fmt.Errorf("unknown engine %q (want fused or switch)", s)
+}
+
 // Config controls one VM run.
 type Config struct {
 	Barrier satb.BarrierMode
 	GC      GCKind
+	// Engine selects the execution engine (default EngineFused).
+	Engine Engine
 	// TriggerEveryAllocs starts a marking cycle each time this many
 	// allocations accumulate (0 = never).
 	TriggerEveryAllocs int64
@@ -72,11 +111,14 @@ type Result struct {
 	// ElisionChecks counts elided-store executions validated by the
 	// soundness oracle (0 unless Config.CheckElisions was set).
 	ElisionChecks int64
+	// Engine names the execution engine that produced the result ("fused"
+	// or "switch"); informational only, never part of the semantics.
+	Engine string
 }
 
 // TotalCost is the deterministic cost-model total: instructions executed
-// plus barrier cost units.
-func (r *Result) TotalCost() uint64 { return uint64(r.Steps) + r.Counters.Cost }
+// plus barrier cost units (overflow-safe: saturates instead of wrapping).
+func (r *Result) TotalCost() uint64 { return num.AddSat(num.U64(r.Steps), r.Counters.Cost) }
 
 // RuntimeError is a VM execution failure with location.
 type RuntimeError struct {
@@ -115,6 +157,12 @@ type VM struct {
 	output   []int64
 	oracle   *oracle
 
+	// dprog is the pre-decoded program (nil when the switch engine is
+	// selected or the program could not be decoded); fthreads are the
+	// fused engine's threads.
+	dprog    *dprogram
+	fthreads []*fthread
+
 	steps          int64
 	maxSteps       int64
 	allocSinceGC   int64
@@ -150,7 +198,23 @@ func New(p *bytecode.Program, cfg Config) *VM {
 	if cfg.CheckElisions {
 		v.oracle = newOracle(v.heap)
 	}
+	if cfg.Engine != EngineSwitch {
+		// Decode failures (unresolved refs, missing main) fall back to the
+		// switch interpreter, which reports them as runtime errors.
+		if d, err := decodeProgram(p, v.heap.Layout()); err == nil {
+			v.dprog = d
+		}
+	}
 	return v
+}
+
+// EngineUsed reports the engine this VM actually executes with (the fused
+// engine falls back to the switch interpreter on undecodable programs).
+func (v *VM) EngineUsed() Engine {
+	if v.dprog != nil {
+		return EngineFused
+	}
+	return EngineSwitch
 }
 
 // Heap exposes the heap (tests and tools).
@@ -166,6 +230,14 @@ func (v *VM) logger() satb.Logger {
 
 // Run executes main to completion (all threads).
 func (v *VM) Run() (*Result, error) {
+	if v.dprog != nil {
+		return v.runFused()
+	}
+	return v.runSwitch()
+}
+
+// runSwitch executes the program on the reference switch interpreter.
+func (v *VM) runSwitch() (*Result, error) {
 	main := v.prog.Method(v.prog.Main)
 	if main == nil {
 		return nil, fmt.Errorf("vm: no main method %s", v.prog.Main)
@@ -199,6 +271,11 @@ func (v *VM) Run() (*Result, error) {
 	if v.marker != nil && v.marker.MarkingActive() {
 		v.finishCycle()
 	}
+	return v.result(), nil
+}
+
+// result assembles the Result shared by both engines.
+func (v *VM) result() *Result {
 	res := &Result{
 		Output:         v.output,
 		Steps:          v.steps,
@@ -207,11 +284,12 @@ func (v *VM) Run() (*Result, error) {
 		FinalPauseWork: v.finalPauseWork,
 		Allocated:      v.heap.Allocated,
 		Swept:          v.swept,
+		Engine:         v.EngineUsed().String(),
 	}
 	if v.oracle != nil {
 		res.ElisionChecks = v.oracle.checks
 	}
-	return res, nil
+	return res
 }
 
 func newFrame(m *bytecode.Method) *frame {
@@ -219,7 +297,9 @@ func newFrame(m *bytecode.Method) *frame {
 }
 
 // roots collects the current GC roots: every reference in every thread's
-// frames, plus static fields.
+// frames, plus static fields. Both engines contribute in the same order
+// (threads, frames bottom-up, locals by slot, then stack bottom-up) so
+// the deterministic marker sees an identical work queue.
 func (v *VM) roots() []heap.Ref {
 	var out []heap.Ref
 	for _, t := range v.threads {
@@ -230,6 +310,20 @@ func (v *VM) roots() []heap.Ref {
 				}
 			}
 			for _, val := range f.stack {
+				if val.IsRef && val.R != heap.Null {
+					out = append(out, val.R)
+				}
+			}
+		}
+	}
+	for _, t := range v.fthreads {
+		for _, f := range t.frames {
+			for _, val := range f.locals {
+				if val.IsRef && val.R != heap.Null {
+					out = append(out, val.R)
+				}
+			}
+			for _, val := range f.stack[:f.sp] {
 				if val.IsRef && val.R != heap.Null {
 					out = append(out, val.R)
 				}
@@ -444,7 +538,7 @@ func (v *VM) step(t *thread) error {
 		}
 		if v.prog.FieldType(in.Field).IsRef() {
 			if v.oracle != nil {
-				if err := v.oracle.checkStore(f, t.id, satb.FieldSite, elideKind(in), old.R, val.R, obj.R); err != nil {
+				if err := v.oracle.checkStore(f.m.QualifiedName(), f.pc, in.Line, t.id, satb.FieldSite, elideKind(in), old.R, val.R, obj.R); err != nil {
 					return err
 				}
 			}
@@ -531,7 +625,7 @@ func (v *VM) step(t *thread) error {
 			return v.errf(f, "%v", err)
 		}
 		if v.oracle != nil {
-			if err := v.oracle.checkStore(f, t.id, satb.ArraySite, elideKind(in), old.R, val.R, arr.R); err != nil {
+			if err := v.oracle.checkStore(f.m.QualifiedName(), f.pc, in.Line, t.id, satb.ArraySite, elideKind(in), old.R, val.R, arr.R); err != nil {
 				return err
 			}
 		}
@@ -621,9 +715,6 @@ func elideKind(in *bytecode.Instr) satb.ElideKind {
 	}
 }
 
-func b2i(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
-}
+// b2i is the shared bool→int conversion (kept as a local alias so the hot
+// interpreter loop reads naturally).
+func b2i(b bool) int64 { return num.B2I(b) }
