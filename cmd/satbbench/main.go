@@ -7,10 +7,16 @@
 // with runtime validation of each elided store).
 //
 // With -json FILE every computed section is additionally written as a
-// machine-readable JSON document (e.g. BENCH_satb.json), so the perf
+// versioned report.Document (e.g. BENCH_satb.json), so the perf
 // trajectory can be compared across revisions. The file is written
 // atomically (temp file + rename), so a crashed or interrupted run never
 // leaves a truncated document behind.
+//
+// -trace FILE records every pipeline stage, per-method analysis span, VM
+// run and GC cycle as a Chrome trace_event JSON file (open in Perfetto);
+// -metrics FILE writes the aggregated span/counter rollup. Both exports
+// are off by default, in which case every instrumentation hook stays on
+// its zero-allocation disabled path.
 //
 // -deadline D applies a per-method analysis wall-clock budget: methods
 // exceeding it degrade to the sound all-barriers result. -strict exits
@@ -22,40 +28,19 @@
 //	satbbench -all
 //	satbbench -table1 -fig3
 //	satbbench -all -json BENCH_satb.json
+//	satbbench -table1 -trace trace.json -metrics metrics.json
 //	satbbench -oracle -strict -deadline 2s
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"satbelim/internal/cli"
 	"satbelim/internal/pipeline"
 	"satbelim/internal/report"
 )
-
-// jsonResults is the -json document: one optional section per experiment.
-type jsonResults struct {
-	InlineLimit     int                    `json:"inline_limit"`
-	Workers         int                    `json:"workers"`
-	Perf            []report.PerfRow       `json:"perf,omitempty"`
-	Table1          []report.Table1Row     `json:"table1,omitempty"`
-	Table2          []report.Table2Row     `json:"table2,omitempty"`
-	Figure2         []report.Fig2Point     `json:"figure2,omitempty"`
-	Figure3         []report.Fig3Row       `json:"figure3,omitempty"`
-	NullOrSame      []report.NullOrSameRow `json:"null_or_same,omitempty"`
-	Rearrange       []report.RearrangeRow  `json:"rearrange,omitempty"`
-	Interprocedural []report.InterprocRow  `json:"interprocedural,omitempty"`
-	Oracle          []report.OracleRow     `json:"oracle,omitempty"`
-	VMPerf          []report.VMPerfRow     `json:"vmperf,omitempty"`
-	// VMPerfGeomeanSpeedup is the geometric-mean fused-over-switch VM
-	// speedup across workloads (present with the vmperf section).
-	VMPerfGeomeanSpeedup float64 `json:"vmperf_geomean_speedup,omitempty"`
-	// BuildCache reports build-cache effectiveness over the whole run.
-	BuildCache pipeline.CacheStats `json:"build_cache"`
-}
 
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
@@ -74,6 +59,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-method analysis wall-clock budget (0 = unlimited); over-budget methods keep all barriers")
 	strict := flag.Bool("strict", false, "exit nonzero if any method degraded or the oracle found a violation (implies -oracle)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file (e.g. BENCH_satb.json)")
+	var ob cli.Obs
+	ob.RegisterFlags()
 	flag.Parse()
 
 	if *strict {
@@ -83,14 +70,17 @@ func main() {
 		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf, *vmperf, *oracle = true, true, true, true, true, true, true, true, true, true
 	}
 	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf && !*vmperf && !*oracle {
-		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-vmperf] [-oracle] [-strict] [-deadline D] [-json FILE]")
+		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-vmperf] [-oracle] [-strict] [-deadline D] [-json FILE] [-trace FILE] [-metrics FILE]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
 	report.AnalysisDeadline = *deadline
+	ob.Start()
 
-	out := &jsonResults{InlineLimit: *inlineLimit, Workers: *workers}
+	out := report.NewDocument("satbbench")
+	out.InlineLimit = *inlineLimit
+	out.Workers = *workers
 
 	if *perf {
 		rows, err := report.Perf(*inlineLimit, *workers)
@@ -180,47 +170,24 @@ func main() {
 		}
 	}
 
-	out.BuildCache = pipeline.Stats()
+	cs := pipeline.DefaultCache.Stats()
+	out.BuildCache = &cs
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		data = append(data, '\n')
-		if err := writeFileAtomic(*jsonPath, data); err != nil {
+		if err := cli.WriteDocument(*jsonPath, out); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "satbbench: wrote %s\n", *jsonPath)
+	}
+
+	if err := ob.Finish("satbbench"); err != nil {
+		fatal(err)
 	}
 
 	if *strict && oracleFailed {
 		fmt.Fprintln(os.Stderr, "satbbench: -strict: oracle violations or degraded methods present")
 		os.Exit(1)
 	}
-}
-
-// writeFileAtomic writes data to path via a temp file in the same
-// directory plus rename, so readers never observe a partial document and
-// an interrupted run leaves the previous file intact.
-func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
 func fatal(err error) {

@@ -2,10 +2,16 @@
 // file (or a named built-in workload), runs the barrier-elision analyses,
 // and prints the analysis report and optionally the annotated disassembly.
 //
+// -trace FILE records the compile (pipeline stages, per-method analysis
+// spans) as a Chrome trace_event JSON file; -metrics FILE writes the
+// aggregated counters; -json FILE writes the compile summary as a
+// versioned report.Document.
+//
 // Usage:
 //
 //	satbc [-inline N] [-mode B|F|A] [-nullorsame] [-dis] file.mj
 //	satbc [-flags] -workload jess
+//	satbc -workload jess -trace trace.json -json compile.json
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"strings"
 
 	"satbelim/internal/bytecode"
+	"satbelim/internal/cli"
 	"satbelim/internal/core"
 	"satbelim/internal/pipeline"
+	"satbelim/internal/report"
 	"satbelim/internal/workloads"
 )
 
@@ -27,6 +35,9 @@ func main() {
 	nullOrSame := flag.Bool("nullorsame", false, "enable the §4.3 null-or-same extension")
 	dis := flag.Bool("dis", false, "print annotated disassembly")
 	workload := flag.String("workload", "", "compile a built-in workload instead of a file")
+	jsonPath := flag.String("json", "", "write the compile summary as versioned JSON to this file")
+	var ob cli.Obs
+	ob.RegisterFlags()
 	flag.Parse()
 
 	var name, source string
@@ -50,17 +61,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	var m core.Mode
-	switch strings.ToUpper(*mode) {
-	case "B":
-		m = core.ModeNone
-	case "F":
-		m = core.ModeField
-	case "A":
-		m = core.ModeFieldArray
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
+
+	ob.Start()
 
 	b, err := pipeline.Compile(name, source, pipeline.Options{
 		InlineLimit: *inlineLimit,
@@ -81,6 +87,19 @@ func main() {
 	if *dis {
 		fmt.Println()
 		fmt.Print(bytecode.DisassembleProgram(b.Program))
+	}
+
+	if *jsonPath != "" {
+		doc := report.NewDocument("satbc")
+		doc.InlineLimit = *inlineLimit
+		doc.Compile = report.NewCompileSummary(b)
+		if err := cli.WriteDocument(*jsonPath, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "satbc: wrote %s\n", *jsonPath)
+	}
+	if err := ob.Finish("satbc"); err != nil {
+		fatal(err)
 	}
 }
 

@@ -2,10 +2,16 @@
 // workload) on the bytecode VM with a chosen barrier mode and collector,
 // printing the program output and the barrier instrumentation summary.
 //
+// -trace FILE records the run (compile stages, per-method analysis, VM
+// threads, GC cycles) as a Chrome trace_event JSON file; -metrics FILE
+// writes the aggregated counters; -json FILE writes the run summary as a
+// versioned report.Document.
+//
 // Usage:
 //
 //	satbvm [-inline N] [-mode A] [-barrier conditional] [-gc satb] file.mj
 //	satbvm [-flags] -workload jbb
+//	satbvm -workload jbb -gc satb -trace trace.json
 package main
 
 import (
@@ -15,8 +21,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"satbelim/internal/cli"
 	"satbelim/internal/core"
 	"satbelim/internal/pipeline"
+	"satbelim/internal/report"
 	"satbelim/internal/satb"
 	"satbelim/internal/vm"
 	"satbelim/internal/workloads"
@@ -37,6 +45,9 @@ func main() {
 	engine := flag.String("engine", "fused", "execution engine: fused (pre-decoded) or switch (reference interpreter)")
 	noCache := flag.Bool("nocache", false, "bypass the content-addressed build cache")
 	verbose := flag.Bool("v", false, "print engine and build-cache details")
+	jsonPath := flag.String("json", "", "write the run summary as versioned JSON to this file")
+	var ob cli.Obs
+	ob.RegisterFlags()
 	flag.Parse()
 
 	var name, source string
@@ -60,53 +71,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	var am core.Mode
-	switch strings.ToUpper(*mode) {
-	case "B":
-		am = core.ModeNone
-	case "F":
-		am = core.ModeField
-	case "A":
-		am = core.ModeFieldArray
-	default:
-		fatal(fmt.Errorf("unknown analysis mode %q", *mode))
+	am, err := core.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
-
-	var bm satb.BarrierMode
-	switch *barrier {
-	case "none":
-		bm = satb.ModeNoBarrier
-	case "conditional":
-		bm = satb.ModeConditional
-	case "alwayslog":
-		bm = satb.ModeAlwaysLog
-	case "card":
-		bm = satb.ModeCardMarking
-	default:
-		fatal(fmt.Errorf("unknown barrier mode %q", *barrier))
+	bm, err := satb.ParseBarrierMode(*barrier)
+	if err != nil {
+		fatal(err)
 	}
-
-	var gk vm.GCKind
-	switch *gcKind {
-	case "none":
-		gk = vm.GCNone
-	case "satb":
-		gk = vm.GCSATB
-	case "inc":
-		gk = vm.GCIncremental
-	default:
-		fatal(fmt.Errorf("unknown gc %q", *gcKind))
+	gk, err := vm.ParseGCKind(*gcKind)
+	if err != nil {
+		fatal(err)
 	}
-
 	eng, err := vm.ParseEngine(*engine)
 	if err != nil {
 		fatal(err)
 	}
 
+	ob.Start()
+
 	b, err := pipeline.Compile(name, source, pipeline.Options{
 		InlineLimit: *inlineLimit,
 		Analysis:    core.Options{Mode: am, NullOrSame: *nullOrSame, Deadline: *deadline},
-		NoCache:     *noCache,
+		Runtime: vm.Config{
+			Barrier:            bm,
+			GC:                 gk,
+			TriggerEveryAllocs: *trigger,
+			CheckInvariant:     *check,
+			CheckElisions:      *oracle,
+			Engine:             eng,
+		},
+		NoCache: *noCache,
 	})
 	if err != nil {
 		fatal(err)
@@ -117,20 +112,13 @@ func main() {
 				m.Method.QualifiedName(), m.Degraded)
 		}
 	}
-	res, err := b.Run(vm.Config{
-		Barrier:            bm,
-		GC:                 gk,
-		TriggerEveryAllocs: *trigger,
-		CheckInvariant:     *check,
-		CheckElisions:      *oracle,
-		Engine:             eng,
-	})
+	res, err := b.Exec()
 	if err != nil {
 		fatal(err)
 	}
 	if *verbose {
 		fmt.Printf("engine: %s\n", res.Engine)
-		cs := pipeline.Stats()
+		cs := pipeline.DefaultCache.Stats()
 		fmt.Printf("build cache: hit=%v (%d hits / %d misses, %d entries)\n",
 			b.CacheHit, cs.Hits, cs.Misses, cs.Entries)
 		fmt.Printf("compile: frontend %v, inline %v, verify %v, analysis %v\n",
@@ -152,6 +140,20 @@ func main() {
 		for _, s := range res.Counters.Sites() {
 			fmt.Printf("  %v site execs=%d prenull=%d elide=%v\n", s.Kind, s.Execs, s.PreNull, s.Elide)
 		}
+	}
+
+	if *jsonPath != "" {
+		doc := report.NewDocument("satbvm")
+		doc.InlineLimit = *inlineLimit
+		doc.Run = report.NewRunSummary(name, res)
+		doc.Compile = report.NewCompileSummary(b)
+		if err := cli.WriteDocument(*jsonPath, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "satbvm: wrote %s\n", *jsonPath)
+	}
+	if err := ob.Finish("satbvm"); err != nil {
+		fatal(err)
 	}
 }
 

@@ -33,6 +33,20 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode parses an analysis-mode name ("B", "F", or "A", case-
+// insensitive). All CLIs share it so the flag vocabulary cannot drift.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "B", "b":
+		return ModeNone, nil
+	case "F", "f":
+		return ModeField, nil
+	case "A", "a", "":
+		return ModeFieldArray, nil
+	}
+	return ModeNone, fmt.Errorf("unknown analysis mode %q (want B, F, or A)", s)
+}
+
 // Options configure an analysis run.
 type Options struct {
 	Mode Mode

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"satbelim/internal/bytecode"
+	"satbelim/internal/obs"
 )
 
 // ProgramReport aggregates per-method analysis reports.
@@ -55,24 +56,26 @@ func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*Pr
 	reps := make([]*MethodReport, len(methods))
 	errs := make([]error, len(methods))
 	if workers <= 1 {
+		lane := analysisLane(0)
 		for i, m := range methods {
-			reps[i], errs[i] = AnalyzeMethod(p, m, opts)
+			reps[i], errs[i] = analyzeMethodTraced(p, m, opts, lane)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				lane := analysisLane(w)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(methods) {
 						return
 					}
-					reps[i], errs[i] = AnalyzeMethod(p, methods[i], opts)
+					reps[i], errs[i] = analyzeMethodTraced(p, methods[i], opts, lane)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -86,6 +89,49 @@ func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*Pr
 	rep.Methods = reps
 	rep.AnalysisTime = time.Since(start)
 	return rep, nil
+}
+
+// analysisLane names a worker's observability lane ("" when tracing is
+// disabled, so the disabled path never formats a string).
+func analysisLane(worker int) string {
+	if !obs.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("analysis/w%d", worker)
+}
+
+// analyzeMethodTraced wraps AnalyzeMethod with a per-method span on the
+// worker's lane, carrying the fixpoint stats (block visits, convergence,
+// degradation events) the §4.4 measurements care about. Tracing observes
+// only: results are bit-identical with and without it.
+func analyzeMethodTraced(p *bytecode.Program, m *bytecode.Method, opts Options, lane string) (*MethodReport, error) {
+	if lane == "" || !obs.Enabled() {
+		return AnalyzeMethod(p, m, opts)
+	}
+	sp := obs.StartSpan(lane, "analysis", m.QualifiedName())
+	rep, err := AnalyzeMethod(p, m, opts)
+	if rep == nil {
+		sp.End()
+		return rep, err
+	}
+	sp.EndArgs(
+		obs.KV{K: "block_visits", V: int64(rep.BlockVisits)},
+		obs.KV{K: "converged", V: b2i(rep.Converged)},
+		obs.KV{K: "degraded", S: string(rep.Degraded)},
+	)
+	obs.Count("analysis.methods", 1)
+	obs.Count("analysis.block_visits", int64(rep.BlockVisits))
+	if rep.Degraded != DegradeNone {
+		obs.Count("analysis.degraded", 1)
+	}
+	return rep, err
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // BlockVisits sums the fixed-point block visits across methods — the

@@ -42,6 +42,25 @@ type Marker interface {
 	// full rescan in the final pause.
 	TraceStateOf(r heap.Ref) heap.TraceState
 	Retrace(r heap.Ref)
+	// Stats reports the current (or just-finished) cycle's work counts —
+	// the observability layer attaches them to per-cycle trace spans.
+	Stats() CycleStats
+}
+
+// CycleStats summarizes one marking cycle's work.
+type CycleStats struct {
+	// Marked counts objects marked this cycle; Steps counts concurrent
+	// marking work units; FinalPauseWork is the final pause's scan count.
+	Marked         int
+	Steps          int
+	FinalPauseWork int
+	// LogEntries counts SATB barrier log entries drained (SATB marker);
+	// CardsSeen counts dirty objects recorded (incremental marker).
+	LogEntries int
+	CardsSeen  int
+	// Retraces counts arrays rescanned by the §4.3 rearrangement
+	// protocol.
+	Retraces int
 }
 
 // SATBMarker is the snapshot-at-the-beginning concurrent marker.
@@ -118,6 +137,13 @@ func (m *SATBMarker) LogPreValue(r heap.Ref) {
 	}
 	m.LogEntries++
 	m.buf = append(m.buf, r)
+}
+
+// Stats reports this cycle's work counts.
+func (m *SATBMarker) Stats() CycleStats {
+	return CycleStats{Marked: m.MarkedCount, Steps: m.StepsDone,
+		FinalPauseWork: m.FinalPauseWork, LogEntries: m.LogEntries,
+		Retraces: m.RetraceCount}
 }
 
 // DirtyCard is a no-op for SATB marking.
@@ -263,6 +289,12 @@ type IncMarker struct {
 // NewInc returns an incremental-update marker.
 func NewInc(h *heap.Heap) *IncMarker {
 	return &IncMarker{h: h, dirty: map[heap.Ref]bool{}}
+}
+
+// Stats reports this cycle's work counts.
+func (m *IncMarker) Stats() CycleStats {
+	return CycleStats{Marked: m.MarkedCount, Steps: m.StepsDone,
+		FinalPauseWork: m.FinalPauseWork, CardsSeen: m.CardsSeen}
 }
 
 // Start begins a cycle.

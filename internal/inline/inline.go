@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"satbelim/internal/bytecode"
+	"satbelim/internal/obs"
 )
 
 // Options configure inlining.
@@ -72,6 +73,8 @@ func Apply(p *bytecode.Program, opts Options) *Result {
 			}
 		}
 	}
+	obs.Count("inline.expanded", int64(res.Expanded))
+	obs.Count("inline.remaining", int64(res.Remaining))
 	return res
 }
 

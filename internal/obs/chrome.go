@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// This file exports a collector as Chrome trace-event JSON (the
+// "JSON Array Format with metadata" flavor), loadable in Perfetto and
+// chrome://tracing. Each obs lane becomes one thread row: lane "main" is
+// tid 0, remaining lanes are assigned tids in sorted order so the export
+// is deterministic for a deterministic recording.
+
+// chromePID is the single process id used in exports.
+const chromePID = 1
+
+// chromeEvent is one trace-event record. Complete events ('X') carry
+// ts/dur in fractional microseconds, per the trace-event spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata record (process/thread names, sort order).
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// chromeDoc is the top-level export document.
+type chromeDoc struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// laneTIDs assigns each lane a stable thread id: "main" is 0, the rest
+// follow in lexicographic order.
+func laneTIDs(events []Event) map[string]int {
+	set := map[string]bool{}
+	for _, ev := range events {
+		set[ev.Lane] = true
+	}
+	lanes := make([]string, 0, len(set))
+	for l := range set {
+		if l != "main" {
+			lanes = append(lanes, l)
+		}
+	}
+	sort.Strings(lanes)
+	tids := map[string]int{"main": 0}
+	for i, l := range lanes {
+		tids[l] = i + 1
+	}
+	return tids
+}
+
+// ChromeTrace renders the recorded events as Chrome trace-event JSON.
+func (c *Collector) ChromeTrace() ([]byte, error) {
+	events := c.Events()
+	tids := laneTIDs(events)
+
+	var raws []json.RawMessage
+	appendRaw := func(v any) error {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		raws = append(raws, data)
+		return nil
+	}
+
+	if err := appendRaw(chromeMeta{Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "satbelim"}}); err != nil {
+		return nil, err
+	}
+	laneNames := make([]string, 0, len(tids))
+	for l := range tids {
+		laneNames = append(laneNames, l)
+	}
+	sort.Slice(laneNames, func(i, j int) bool { return tids[laneNames[i]] < tids[laneNames[j]] })
+	for _, l := range laneNames {
+		if err := appendRaw(chromeMeta{Name: "thread_name", Ph: "M", PID: chromePID, TID: tids[l],
+			Args: map[string]any{"name": l}}); err != nil {
+			return nil, err
+		}
+		if err := appendRaw(chromeMeta{Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: tids[l],
+			Args: map[string]any{"sort_index": tids[l]}}); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   string(ev.Phase),
+			TS:   float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID:  chromePID,
+			TID:  tids[ev.Lane],
+		}
+		if ev.Phase == 'i' {
+			ce.S = "t"
+		}
+		if len(ev.Args) > 0 {
+			ce.Args = make(map[string]any, len(ev.Args))
+			for _, kv := range ev.Args {
+				if kv.S != "" {
+					ce.Args[kv.K] = kv.S
+				} else {
+					ce.Args[kv.K] = kv.V
+				}
+			}
+		}
+		if err := appendRaw(ce); err != nil {
+			return nil, err
+		}
+	}
+
+	return json.MarshalIndent(chromeDoc{TraceEvents: raws, DisplayTimeUnit: "ms"}, "", " ")
+}

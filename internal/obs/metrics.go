@@ -1,0 +1,56 @@
+package obs
+
+import "sort"
+
+// Metrics is the flat machine-readable rollup of one observation session:
+// every named counter plus per-span aggregates. The three CLIs embed it
+// in the versioned report.Document (-metrics FILE); the human-readable
+// rendering lives in internal/report.
+type Metrics struct {
+	Counters map[string]int64 `json:"counters"`
+	Spans    []SpanStat       `json:"spans"`
+}
+
+// SpanStat aggregates all spans sharing a category and name.
+type SpanStat struct {
+	Cat     string `json:"cat"`
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MaxNS   int64  `json:"max_ns"`
+}
+
+// Metrics rolls the recorded events and counters up into a Metrics
+// document. Span aggregates are keyed by (cat, name) and sorted, so the
+// document is deterministic for a deterministic recording.
+func (c *Collector) Metrics() Metrics {
+	type key struct{ cat, name string }
+	agg := map[key]*SpanStat{}
+	for _, ev := range c.Events() {
+		if ev.Phase != 'X' {
+			continue
+		}
+		k := key{ev.Cat, ev.Name}
+		s := agg[k]
+		if s == nil {
+			s = &SpanStat{Cat: ev.Cat, Name: ev.Name}
+			agg[k] = s
+		}
+		s.Count++
+		s.TotalNS += ev.Dur.Nanoseconds()
+		if d := ev.Dur.Nanoseconds(); d > s.MaxNS {
+			s.MaxNS = d
+		}
+	}
+	spans := make([]SpanStat, 0, len(agg))
+	for _, s := range agg {
+		spans = append(spans, *s)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Cat != spans[j].Cat {
+			return spans[i].Cat < spans[j].Cat
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	return Metrics{Counters: c.Counters(), Spans: spans}
+}

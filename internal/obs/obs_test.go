@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock advances 1ms per reading, so every recorded timestamp and
+// duration is deterministic.
+func fakeClock() func() time.Time {
+	t := time.Unix(1000, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+// record builds the fixed scenario both exporter goldens pin.
+func record(t *testing.T) *Collector {
+	t.Helper()
+	c := NewCollectorAt(fakeClock())
+	EnableCollector(c)
+	defer Disable()
+
+	sp := StartSpan("main", "pipeline", "parse")
+	sp.End()
+	sp = StartSpan("main", "pipeline", "analyze")
+	Instant("main", "cache", "cache-miss")
+	msp := StartSpan("analysis/w0", "analysis", "A.main")
+	msp.EndArgs(KV{K: "visits", V: 7}, KV{K: "degraded", S: "none"})
+	msp = StartSpan("analysis/w1", "analysis", "Node.sum")
+	msp.EndArgs(KV{K: "visits", V: 3})
+	sp.End()
+	run := StartSpan("vm", "vm", "run")
+	g := StartSpan("vm/gc", "gc", "mark-cycle")
+	g.EndArgs(KV{K: "marked", V: 42})
+	run.EndArgs(KV{K: "engine", S: "fused"})
+	Count("vm.steps", 1234)
+	Count("vm.steps", 766)
+	Count("pipeline.cache.misses", 1)
+	return c
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s mismatch:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	c := record(t)
+	data, err := c.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.golden.json", data)
+}
+
+func TestMetricsGolden(t *testing.T) {
+	c := record(t)
+	data, err := json.MarshalIndent(c.Metrics(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.golden.json", data)
+}
+
+// TestChromeTraceSchema validates the export against the trace-event
+// format contract Perfetto relies on: a traceEvents array whose entries
+// all carry name/ph/pid/tid, with ph one of the phases we emit, complete
+// events carrying ts+dur, and every referenced tid named by a
+// thread_name metadata record.
+func TestChromeTraceSchema(t *testing.T) {
+	c := record(t)
+	data, err := c.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	named := map[float64]bool{} // tids with a thread_name record
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "thread_name" {
+			named[ev["tid"].(float64)] = true
+		}
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, k, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		switch ph {
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Errorf("event %d: complete event without ts", i)
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Errorf("event %d: complete event without dur", i)
+			}
+		case "i", "M":
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ph)
+		}
+		if ph != "M" && !named[ev["tid"].(float64)] {
+			t.Errorf("event %d: tid %v has no thread_name metadata", i, ev["tid"])
+		}
+	}
+}
+
+// disabledHooks exercises every hook shape the hot paths use; the
+// zero-alloc test and benchmark both run it with tracing disabled.
+func disabledHooks() {
+	sp := StartSpan("main", "pipeline", "analyze")
+	sp.End()
+	sp = StartSpan("analysis/w0", "analysis", "method")
+	sp.EndArgs(KV{K: "visits", V: 7}, KV{K: "degraded", S: "none"})
+	Count("vm.steps", 1)
+	Instant("main", "cache", "cache-hit")
+	_ = Enabled()
+}
+
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	if Enabled() {
+		t.Fatal("tracer unexpectedly enabled")
+	}
+	if n := testing.AllocsPerRun(1000, disabledHooks); n != 0 {
+		t.Errorf("disabled hooks allocate %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkTracerDisabled is the disabled-hot-path benchmark the CI
+// alloc gate parses: it must report 0 allocs/op.
+func BenchmarkTracerDisabled(b *testing.B) {
+	if Enabled() {
+		b.Fatal("tracer unexpectedly enabled")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledHooks()
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	c := Enable()
+	if !Enabled() || Active() != c {
+		t.Fatal("Enable did not install collector")
+	}
+	Count("x", 2)
+	Count("x", 3)
+	if got := Disable(); got != c {
+		t.Fatal("Disable returned wrong collector")
+	}
+	if Enabled() {
+		t.Fatal("still enabled after Disable")
+	}
+	Count("x", 100) // must be dropped
+	if c.Counters()["x"] != 5 {
+		t.Errorf("counter x = %d, want 5", c.Counters()["x"])
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+
+	"satbelim/internal/obs"
 )
 
 // The build cache memoizes Compile by content: experiments and tools
@@ -17,16 +19,22 @@ import (
 // (both are treated as immutable after Compile); the Build struct itself
 // is copied so per-use metadata (CacheHit, timing fields a caller zeroes)
 // stays private to each caller.
+//
+// The cache is an injectable value: Options.Cache selects the instance,
+// nil meaning the process-wide DefaultCache. Tests and embedders that
+// need isolation construct their own with NewCache.
 
-// buildCacheMaxEntries bounds the cache; at the limit the oldest entry is
-// evicted (FIFO — the experiment drivers sweep configurations in passes,
-// so recency is a good proxy for reuse).
-const buildCacheMaxEntries = 128
+// DefaultCacheEntries bounds DefaultCache; at the limit the oldest entry
+// is evicted (FIFO — the experiment drivers sweep configurations in
+// passes, so recency is a good proxy for reuse).
+const DefaultCacheEntries = 128
 
 // cacheKey identifies a build by everything that can influence its
 // output. Workers is semantically inert (results are deterministic for
 // any worker count) but stays in the key so that differential tests
 // comparing worker counts still compile each configuration independently.
+// Runtime is deliberately absent: VM configuration cannot influence a
+// compile, so builds differing only in Runtime share an entry.
 type cacheKey struct {
 	name        string
 	srcHash     [32]byte
@@ -35,15 +43,28 @@ type cacheKey struct {
 	analysis    string
 }
 
-type buildCache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*Build
-	order   []cacheKey // insertion order for FIFO eviction
-	hits    int64
-	misses  int64
+// Cache is a content-addressed build cache instance.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	entries    map[cacheKey]*Build
+	order      []cacheKey // insertion order for FIFO eviction
+	hits       int64
+	misses     int64
 }
 
-var cache = &buildCache{entries: map[cacheKey]*Build{}}
+// NewCache returns an empty cache bounded to maxEntries (<= 0 means
+// DefaultCacheEntries).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{maxEntries: maxEntries, entries: map[cacheKey]*Build{}}
+}
+
+// DefaultCache is the process-wide build cache used when Options.Cache
+// is nil.
+var DefaultCache = NewCache(DefaultCacheEntries)
 
 // CacheStats reports build-cache effectiveness.
 type CacheStats struct {
@@ -52,20 +73,39 @@ type CacheStats struct {
 	Entries int   `json:"entries"`
 }
 
-// Stats returns a snapshot of the build cache counters.
-func Stats() CacheStats {
-	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	return CacheStats{Hits: cache.hits, Misses: cache.misses, Entries: len(cache.entries)}
+// Stats returns a snapshot of this cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
 }
 
-// ClearCache empties the build cache and resets its counters.
-func ClearCache() {
-	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	cache.entries = map[cacheKey]*Build{}
-	cache.order = nil
-	cache.hits, cache.misses = 0, 0
+// Clear empties the cache and resets its counters.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[cacheKey]*Build{}
+	c.order = nil
+	c.hits, c.misses = 0, 0
+}
+
+// Stats returns a snapshot of the DefaultCache counters.
+//
+// Deprecated: compatibility wrapper — use DefaultCache.Stats (or the
+// Stats of the Cache you injected via Options.Cache).
+func Stats() CacheStats { return DefaultCache.Stats() }
+
+// ClearCache empties the DefaultCache and resets its counters.
+//
+// Deprecated: compatibility wrapper — use DefaultCache.Clear.
+func ClearCache() { DefaultCache.Clear() }
+
+// cacheInstance resolves the cache these Options address.
+func (o Options) cacheInstance() *Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return DefaultCache
 }
 
 // cacheable reports whether a build under these options may be cached:
@@ -89,28 +129,33 @@ func (o Options) key(name, source string) cacheKey {
 }
 
 // get returns a caller-private copy of a cached build.
-func (c *buildCache) get(k cacheKey) (*Build, bool) {
+func (c *Cache) get(k cacheKey) (*Build, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	b, ok := c.entries[k]
 	if !ok {
 		c.misses++
+		c.mu.Unlock()
+		obs.Count("pipeline.cache.misses", 1)
+		obs.Instant("main", "cache", "build-cache-miss")
 		return nil, false
 	}
 	c.hits++
+	c.mu.Unlock()
+	obs.Count("pipeline.cache.hits", 1)
+	obs.Instant("main", "cache", "build-cache-hit")
 	cp := *b
 	cp.CacheHit = true
 	return &cp, true
 }
 
 // put stores a build, evicting the oldest entry at capacity.
-func (c *buildCache) put(k cacheKey, b *Build) {
+func (c *Cache) put(k cacheKey, b *Build) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[k]; ok {
 		return
 	}
-	if len(c.order) >= buildCacheMaxEntries {
+	if len(c.order) >= c.maxEntries {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
 	}

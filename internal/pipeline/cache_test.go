@@ -90,10 +90,10 @@ func TestBuildCacheKeySensitivity(t *testing.T) {
 	}
 
 	variants := []Options{
-		{InlineLimit: 25, Analysis: base.Analysis},                                     // inline limit
-		{InlineLimit: 50, Analysis: core.Options{Mode: core.ModeField}},                // analysis mode
+		{InlineLimit: 25, Analysis: base.Analysis},                                             // inline limit
+		{InlineLimit: 50, Analysis: core.Options{Mode: core.ModeField}},                        // analysis mode
 		{InlineLimit: 50, Analysis: core.Options{Mode: core.ModeFieldArray, NullOrSame: true}}, // extension flag
-		{InlineLimit: 50, Analysis: base.Analysis, Workers: 1},                         // worker count
+		{InlineLimit: 50, Analysis: base.Analysis, Workers: 1},                                 // worker count
 	}
 	for i, o := range variants {
 		b, err := Compile("keytest", cacheTestSrc, o)

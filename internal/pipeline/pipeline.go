@@ -17,6 +17,7 @@ import (
 	"satbelim/internal/core"
 	"satbelim/internal/inline"
 	"satbelim/internal/minijava"
+	"satbelim/internal/obs"
 	"satbelim/internal/verifier"
 	"satbelim/internal/vm"
 )
@@ -31,7 +32,11 @@ const BarrierInlineBytes = 40
 // code-size model.
 const CodeExpansionFactor = 8
 
-// Options configure a build.
+// Options is the single configuration surface for a build and its
+// execution: compile-side knobs live directly on Options, analysis knobs
+// in the Analysis sub-struct, and VM/runtime knobs in the Runtime
+// sub-struct — a new knob is added in exactly one of those places, never
+// mirrored.
 type Options struct {
 	// InlineLimit is the maximum callee bytecode size to inline
 	// (paper §4.4: 0/25/50/100/200).
@@ -39,6 +44,8 @@ type Options struct {
 	// Analysis selects the barrier analysis configuration (B/F/A and
 	// extensions).
 	Analysis core.Options
+	// Runtime is the VM configuration Build.Exec runs under.
+	Runtime vm.Config
 	// Workers is the per-method fan-out width for the verify and
 	// analysis stages (both are intra-procedural after inlining, so
 	// methods are independent). <= 0 means GOMAXPROCS. Results are
@@ -49,6 +56,9 @@ type Options struct {
 	// compilation (it neither reads nor stores an entry). Use it when
 	// measuring real compile times.
 	NoCache bool
+	// Cache selects the build cache instance to consult; nil means the
+	// process-wide DefaultCache.
+	Cache *Cache
 }
 
 // workerCount resolves the configured fan-out width.
@@ -119,37 +129,53 @@ func (b *Build) CompiledCodeSize() int {
 // served from a content-addressed cache unless Options.NoCache is set.
 func Compile(name, source string, opts Options) (*Build, error) {
 	var key cacheKey
+	c := opts.cacheInstance()
 	if opts.cacheable() {
 		key = opts.key(name, source)
-		if b, ok := cache.get(key); ok {
+		if b, ok := c.get(key); ok {
+			// The copy is caller-private: stamp the caller's Options on it
+			// so Exec runs under the caller's Runtime config, not the
+			// original compiler's.
+			b.Options = opts
 			return b, nil
 		}
 	}
 	b := &Build{Name: name, Options: opts}
 
 	start := time.Now()
+	sp := obs.StartSpan("main", "pipeline", "parse")
 	ast, err := minijava.Parse(name+".mj", source)
+	sp.EndArgs(obs.KV{K: "program", S: name})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline %s: %w", name, err)
 	}
+	sp = obs.StartSpan("main", "pipeline", "typecheck")
 	checked, err := minijava.Check(name+".mj", ast)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline %s: %w", name, err)
 	}
+	sp = obs.StartSpan("main", "pipeline", "codegen")
 	prog, err := codegen.Compile(checked)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline %s: %w", name, err)
 	}
 	b.FrontendTime = time.Since(start)
 
 	start = time.Now()
+	sp = obs.StartSpan("main", "pipeline", "inline")
 	ir := inline.Apply(prog, inline.Options{Limit: opts.InlineLimit})
+	sp.EndArgs(obs.KV{K: "limit", V: int64(opts.InlineLimit)}, obs.KV{K: "expanded", V: int64(ir.Expanded)})
 	b.InlineTime = time.Since(start)
 	b.Program = ir.Program
 	b.InlinedCalls = ir.Expanded
 
 	start = time.Now()
-	if err := verifyParallel(b.Program, opts.workerCount()); err != nil {
+	sp = obs.StartSpan("main", "pipeline", "verify")
+	err = verifyParallel(b.Program, opts.workerCount())
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("pipeline %s: %w", name, err)
 	}
 	b.VerifyTime = time.Since(start)
@@ -157,15 +183,19 @@ func Compile(name, source string, opts Options) (*Build, error) {
 
 	if opts.Analysis.Mode != core.ModeNone {
 		start = time.Now()
+		sp = obs.StartSpan("main", "pipeline", "analyze")
 		rep, err := core.AnalyzeProgramParallel(b.Program, opts.Analysis, opts.workerCount())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline %s: %w", name, err)
 		}
+		sp.EndArgs(obs.KV{K: "block_visits", V: int64(rep.BlockVisits())},
+			obs.KV{K: "methods", V: int64(len(rep.Methods))},
+			obs.KV{K: "degraded", V: int64(len(rep.Degraded()))})
 		b.AnalysisTime = time.Since(start)
 		b.Report = rep
 	}
 	if opts.cacheable() {
-		cache.put(key, b)
+		c.put(key, b)
 	}
 	return b, nil
 }
@@ -208,7 +238,15 @@ func verifyParallel(p *bytecode.Program, workers int) error {
 	return nil
 }
 
-// Run executes the built program on the VM.
+// Run executes the built program on the VM under an explicit config.
+//
+// Deprecated: compatibility accessor — set Options.Runtime and call Exec
+// so the configuration lives on the one Options surface.
 func (b *Build) Run(cfg vm.Config) (*vm.Result, error) {
 	return vm.New(b.Program, cfg).Run()
+}
+
+// Exec executes the built program on the VM under Options.Runtime.
+func (b *Build) Exec() (*vm.Result, error) {
+	return vm.New(b.Program, b.Options.Runtime).Run()
 }

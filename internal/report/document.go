@@ -1,0 +1,190 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"satbelim/internal/obs"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/vm"
+)
+
+// SchemaVersion is the version of the Document JSON schema. Bump it on
+// any breaking change to the document shape; the golden test in
+// document_test.go pins the current shape.
+const SchemaVersion = 1
+
+// Document is the one versioned JSON report schema every CLI emits:
+// satbbench -json writes experiment sections, satbvm -json writes a Run
+// section, satbc -json writes a Compile section, and the -metrics export
+// of all three writes a Metrics section. Sections are optional; the
+// schemaVersion and tool fields are always present.
+type Document struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Tool          string `json:"tool"`
+
+	InlineLimit int `json:"inline_limit,omitempty"`
+	Workers     int `json:"workers,omitempty"`
+
+	// Experiment sections (satbbench).
+	Perf            []PerfRow       `json:"perf,omitempty"`
+	Table1          []Table1Row     `json:"table1,omitempty"`
+	Table2          []Table2Row     `json:"table2,omitempty"`
+	Figure2         []Fig2Point     `json:"figure2,omitempty"`
+	Figure3         []Fig3Row       `json:"figure3,omitempty"`
+	NullOrSame      []NullOrSameRow `json:"null_or_same,omitempty"`
+	Rearrange       []RearrangeRow  `json:"rearrange,omitempty"`
+	Interprocedural []InterprocRow  `json:"interprocedural,omitempty"`
+	Oracle          []OracleRow     `json:"oracle,omitempty"`
+	VMPerf          []VMPerfRow     `json:"vmperf,omitempty"`
+	// VMPerfGeomeanSpeedup is the geometric-mean fused-over-switch VM
+	// speedup across workloads (present with the vmperf section).
+	VMPerfGeomeanSpeedup float64 `json:"vmperf_geomean_speedup,omitempty"`
+
+	// Run is one VM execution's summary (satbvm).
+	Run *RunSummary `json:"run,omitempty"`
+	// Compile is one compilation's summary (satbc).
+	Compile *CompileSummary `json:"compile,omitempty"`
+
+	// Metrics is the observability rollup (-metrics on any tool).
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
+	// BuildCache reports build-cache effectiveness over the whole run.
+	BuildCache *pipeline.CacheStats `json:"build_cache,omitempty"`
+}
+
+// NewDocument returns a Document stamped with the schema version and the
+// emitting tool's name.
+func NewDocument(tool string) *Document {
+	return &Document{SchemaVersion: SchemaVersion, Tool: tool}
+}
+
+// RunSummary is one VM run in Document form.
+type RunSummary struct {
+	Workload       string  `json:"workload"`
+	Engine         string  `json:"engine"`
+	Output         []int64 `json:"output"`
+	Steps          int64   `json:"steps"`
+	BarrierCost    uint64  `json:"barrier_cost"`
+	TotalCost      uint64  `json:"total_cost"`
+	Logged         uint64  `json:"logged"`
+	CardsDirtied   uint64  `json:"cards_dirtied,omitempty"`
+	StaticExecs    uint64  `json:"static_execs"`
+	BarrierExecs   uint64  `json:"barrier_execs"`
+	ElidedExecs    uint64  `json:"elided_execs"`
+	ElimPct        float64 `json:"elim_pct"`
+	Cycles         int     `json:"cycles"`
+	FinalPauseWork int     `json:"final_pause_work"`
+	Allocated      int64   `json:"allocated"`
+	Swept          int     `json:"swept"`
+	ElisionChecks  int64   `json:"elision_checks,omitempty"`
+}
+
+// NewRunSummary converts a VM result into its Document form.
+func NewRunSummary(workload string, res *vm.Result) *RunSummary {
+	s := res.Counters.Summarize()
+	return &RunSummary{
+		Workload:       workload,
+		Engine:         res.Engine,
+		Output:         res.Output,
+		Steps:          res.Steps,
+		BarrierCost:    res.Counters.Cost,
+		TotalCost:      res.TotalCost(),
+		Logged:         res.Counters.Logged,
+		CardsDirtied:   res.Counters.CardsDirtied,
+		StaticExecs:    res.Counters.StaticExecs,
+		BarrierExecs:   s.TotalExecs,
+		ElidedExecs:    s.ElidedExecs,
+		ElimPct:        pct(s.ElidedExecs, s.TotalExecs),
+		Cycles:         res.Cycles,
+		FinalPauseWork: res.FinalPauseWork,
+		Allocated:      res.Allocated,
+		Swept:          res.Swept,
+		ElisionChecks:  res.ElisionChecks,
+	}
+}
+
+// CompileSummary is one compilation in Document form.
+type CompileSummary struct {
+	Workload         string   `json:"workload"`
+	InlineLimit      int      `json:"inline_limit"`
+	BytecodeBytes    int      `json:"bytecode_bytes"`
+	InlinedCalls     int      `json:"inlined_calls"`
+	CompiledCodeSize int      `json:"compiled_code_size"`
+	FrontendNs       int64    `json:"frontend_ns"`
+	InlineNs         int64    `json:"inline_ns"`
+	VerifyNs         int64    `json:"verify_ns"`
+	AnalysisNs       int64    `json:"analysis_ns"`
+	CacheHit         bool     `json:"cache_hit"`
+	FieldSites       int      `json:"field_sites"`
+	ArraySites       int      `json:"array_sites"`
+	FieldElided      int      `json:"field_elided"`
+	ArrayElided      int      `json:"array_elided"`
+	NullOrSame       int      `json:"null_or_same,omitempty"`
+	Degraded         []string `json:"degraded,omitempty"`
+}
+
+// NewCompileSummary converts a pipeline build into its Document form.
+func NewCompileSummary(b *pipeline.Build) *CompileSummary {
+	c := &CompileSummary{
+		Workload:         b.Name,
+		InlineLimit:      b.Options.InlineLimit,
+		BytecodeBytes:    b.BytecodeBytes,
+		InlinedCalls:     b.InlinedCalls,
+		CompiledCodeSize: b.CompiledCodeSize(),
+		FrontendNs:       b.FrontendTime.Nanoseconds(),
+		InlineNs:         b.InlineTime.Nanoseconds(),
+		VerifyNs:         b.VerifyTime.Nanoseconds(),
+		AnalysisNs:       b.AnalysisTime.Nanoseconds(),
+		CacheHit:         b.CacheHit,
+	}
+	if b.Report != nil {
+		c.FieldSites, c.ArraySites, c.FieldElided, c.ArrayElided, c.NullOrSame = b.Report.Totals()
+		for _, m := range b.Report.Degraded() {
+			c.Degraded = append(c.Degraded, fmt.Sprintf("%s (%s)", m.Method.QualifiedName(), m.Degraded))
+		}
+	}
+	return c
+}
+
+// FormatObsSummary renders the observability metrics as the human-
+// readable summary table: span aggregates first (sorted by total time,
+// descending), then counters (sorted by name).
+func FormatObsSummary(m *obs.Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability summary\n")
+	if len(m.Spans) > 0 {
+		fmt.Fprintf(&b, "%-12s %-28s %8s %12s %12s\n", "category", "span", "count", "total", "max")
+		spans := make([]obs.SpanStat, len(m.Spans))
+		copy(spans, m.Spans)
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].TotalNS > spans[j].TotalNS })
+		const maxRows = 20
+		for i, s := range spans {
+			if i == maxRows {
+				fmt.Fprintf(&b, "  ... %d more span groups (see -metrics JSON)\n", len(spans)-maxRows)
+				break
+			}
+			fmt.Fprintf(&b, "%-12s %-28s %8d %12v %12v\n", s.Cat, s.Name, s.Count,
+				time.Duration(s.TotalNS).Round(time.Microsecond),
+				time.Duration(s.MaxNS).Round(time.Microsecond))
+		}
+	}
+	if len(m.Counters) > 0 {
+		names := make([]string, 0, len(m.Counters))
+		for k := range m.Counters {
+			// Per-site counters are high-cardinality; the table shows
+			// rollups only, the JSON document has everything.
+			if strings.HasPrefix(k, "vm.site.") {
+				continue
+			}
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "%-44s %14s\n", "counter", "value")
+		for _, k := range names {
+			fmt.Fprintf(&b, "%-44s %14d\n", k, m.Counters[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"satbelim/internal/obs"
+	"satbelim/internal/pipeline"
+	"satbelim/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleDocument builds a fully-populated Document with fixed values, so
+// the golden pins the entire serialized schema (key names, nesting,
+// omitempty behaviour) independent of wall-clock or machine.
+func sampleDocument() *Document {
+	doc := NewDocument("satbbench")
+	doc.InlineLimit = 100
+	doc.Workers = 4
+	doc.Table1 = []Table1Row{{
+		Name: "jbb", Total: 1000, ElimPct: 52.5, PotPct: 60.0,
+		FieldShare: 70.0, ArrayShare: 30.0, FieldElim: 55.0, ArrayElim: 45.0,
+		Paper: workloads.PaperRow{},
+	}}
+	doc.Run = &RunSummary{
+		Workload: "jbb", Engine: "fused", Output: []int64{42},
+		Steps: 12345, BarrierCost: 678, TotalCost: 13023,
+		Logged: 90, CardsDirtied: 0, StaticExecs: 12,
+		BarrierExecs: 400, ElidedExecs: 210, ElimPct: 52.5,
+		Cycles: 3, FinalPauseWork: 7, Allocated: 500, Swept: 450,
+		ElisionChecks: 210,
+	}
+	doc.Compile = &CompileSummary{
+		Workload: "jbb", InlineLimit: 100, BytecodeBytes: 2048,
+		InlinedCalls: 17, CompiledCodeSize: 4096,
+		FrontendNs: 1000, InlineNs: 2000, VerifyNs: 3000, AnalysisNs: 4000,
+		CacheHit: true, FieldSites: 20, ArraySites: 10,
+		FieldElided: 12, ArrayElided: 4, NullOrSame: 2,
+		Degraded: []string{"A.slow (deadline)"},
+	}
+	doc.Metrics = &obs.Metrics{
+		Counters: map[string]int64{
+			"analysis.methods":    9,
+			"pipeline.cache.hits": 1,
+			"vm.steps":            12345,
+		},
+		Spans: []obs.SpanStat{
+			{Cat: "pipeline", Name: "analyze", Count: 1, TotalNS: 5000000, MaxNS: 5000000},
+			{Cat: "vm", Name: "run", Count: 1, TotalNS: 9000000, MaxNS: 9000000},
+		},
+	}
+	doc.BuildCache = &pipeline.CacheStats{Hits: 1, Misses: 2, Entries: 2}
+	return doc
+}
+
+// TestDocumentGolden pins the versioned JSON schema: any change to field
+// names, nesting, or omitempty behaviour shows up as a golden diff and
+// must come with a SchemaVersion bump if it breaks consumers.
+func TestDocumentGolden(t *testing.T) {
+	data, err := json.MarshalIndent(sampleDocument(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "document.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(want) != string(data) {
+		t.Errorf("document schema drifted from golden.\ngot:\n%s\nwant:\n%s\n(run with -update after bumping SchemaVersion if intended)", data, want)
+	}
+}
+
+// TestDocumentSchemaVersion checks the version key is spelled exactly
+// `schemaVersion` and always serialized, and that empty sections vanish.
+func TestDocumentSchemaVersion(t *testing.T) {
+	data, err := json.Marshal(NewDocument("satbc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m["schemaVersion"]; !ok || v != float64(SchemaVersion) {
+		t.Errorf("schemaVersion = %v, want %d", v, SchemaVersion)
+	}
+	if m["tool"] != "satbc" {
+		t.Errorf("tool = %v, want satbc", m["tool"])
+	}
+	if len(m) != 2 {
+		t.Errorf("empty document must serialize only schemaVersion+tool, got keys %v", m)
+	}
+}
+
+// TestFormatObsSummary sanity-checks the human-readable table.
+func TestFormatObsSummary(t *testing.T) {
+	doc := sampleDocument()
+	out := FormatObsSummary(doc.Metrics)
+	for _, want := range []string{"Observability summary", "analyze", "vm.steps", "analysis.methods"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Per-site counters are suppressed from the table.
+	doc.Metrics.Counters["vm.site.A.main.3.execs"] = 5
+	out = FormatObsSummary(doc.Metrics)
+	if strings.Contains(out, "vm.site.") {
+		t.Errorf("per-site counter leaked into the summary table:\n%s", out)
+	}
+}

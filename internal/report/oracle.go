@@ -54,6 +54,13 @@ func Oracle(inlineLimit int) ([]OracleRow, error) {
 			b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 				InlineLimit: inlineLimit,
 				Analysis:    withBudget(cfg.Opts),
+				Runtime: vm.Config{
+					Barrier:            satb.ModeConditional,
+					GC:                 vm.GCSATB,
+					TriggerEveryAllocs: 256,
+					CheckInvariant:     true,
+					CheckElisions:      true,
+				},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("oracle %s/%s: %w", w.Name, cfg.Name, err)
@@ -63,13 +70,7 @@ func Oracle(inlineLimit int) ([]OracleRow, error) {
 				row.Degraded = append(row.Degraded,
 					fmt.Sprintf("%s (%s)", m.Method.QualifiedName(), m.Degraded))
 			}
-			res, err := b.Run(vm.Config{
-				Barrier:            satb.ModeConditional,
-				GC:                 vm.GCSATB,
-				TriggerEveryAllocs: 256,
-				CheckInvariant:     true,
-				CheckElisions:      true,
-			})
+			res, err := b.Exec()
 			if err != nil {
 				row.Violation = err.Error()
 			} else {

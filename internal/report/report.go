@@ -41,11 +41,15 @@ func withBudget(o core.Options) core.Options {
 // conditional SATB barriers (marking kept permanently active so that every
 // barrier's dynamic behaviour is observed).
 func buildAndRun(w *workloads.Workload, inlineLimit int, opts core.Options) (*pipeline.Build, *vm.Result, error) {
-	b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: withBudget(opts)})
+	b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+		InlineLimit: inlineLimit,
+		Analysis:    withBudget(opts),
+		Runtime:     vm.Config{Barrier: satb.ModeConditional},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := b.Run(vm.Config{Barrier: satb.ModeConditional})
+	res, err := b.Exec()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -141,11 +145,15 @@ func Table2(inlineLimit int) ([]Table2Row, error) {
 	var rows []Table2Row
 	var base float64
 	for _, c := range cfgs {
-		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{InlineLimit: inlineLimit, Analysis: withBudget(c.opts)})
+		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+			InlineLimit: inlineLimit,
+			Analysis:    withBudget(c.opts),
+			Runtime:     vm.Config{Barrier: c.mode},
+		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := b.Run(vm.Config{Barrier: c.mode})
+		res, err := b.Exec()
 		if err != nil {
 			return nil, err
 		}
@@ -198,11 +206,12 @@ func Figure2(limits []int) ([]Fig2Point, error) {
 				b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 					InlineLimit: limit,
 					Analysis:    withBudget(core.Options{Mode: mode}),
+					Runtime:     vm.Config{Barrier: satb.ModeConditional},
 				})
 				if err != nil {
 					return nil, fmt.Errorf("fig2 %s limit %d: %w", w.Name, limit, err)
 				}
-				res, err := b.Run(vm.Config{Barrier: satb.ModeConditional})
+				res, err := b.Exec()
 				if err != nil {
 					return nil, err
 				}
@@ -400,16 +409,17 @@ func Rearrangement(inlineLimit int) ([]RearrangeRow, error) {
 		b, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
 			InlineLimit: inlineLimit,
 			Analysis:    withBudget(core.Options{Mode: core.ModeFieldArray, Rearrange: true}),
+			Runtime: vm.Config{
+				Barrier:            satb.ModeConditional,
+				GC:                 vm.GCSATB,
+				TriggerEveryAllocs: 200,
+				CheckInvariant:     true,
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rearrange %s: %w", w.Name, err)
 		}
-		res, err := b.Run(vm.Config{
-			Barrier:            satb.ModeConditional,
-			GC:                 vm.GCSATB,
-			TriggerEveryAllocs: 200,
-			CheckInvariant:     true,
-		})
+		res, err := b.Exec()
 		if err != nil {
 			return nil, err
 		}
@@ -467,11 +477,12 @@ func Perf(inlineLimit, workers int) ([]PerfRow, error) {
 			InlineLimit: inlineLimit,
 			Analysis:    withBudget(core.Options{Mode: core.ModeFieldArray}),
 			Workers:     workers,
+			Runtime:     vm.Config{Barrier: satb.ModeConditional},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("perf %s: %w", w.Name, err)
 		}
-		res, err := b.Run(vm.Config{Barrier: satb.ModeConditional})
+		res, err := b.Exec()
 		if err != nil {
 			return nil, err
 		}

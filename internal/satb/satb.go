@@ -50,6 +50,23 @@ func (m BarrierMode) String() string {
 	}
 }
 
+// ParseBarrierMode parses a barrier-mode name ("none", "conditional",
+// "alwayslog", or "card"). All CLIs share it so the flag vocabulary
+// cannot drift.
+func ParseBarrierMode(s string) (BarrierMode, error) {
+	switch s {
+	case "none":
+		return ModeNoBarrier, nil
+	case "conditional", "":
+		return ModeConditional, nil
+	case "alwayslog":
+		return ModeAlwaysLog, nil
+	case "card":
+		return ModeCardMarking, nil
+	}
+	return ModeConditional, fmt.Errorf("unknown barrier mode %q (want none, conditional, alwayslog, or card)", s)
+}
+
 // Barrier cost model, in abstract RISC-instruction units. The paper (§1)
 // reports 9–12 instructions for the full SATB barrier and ~2 for a
 // card-marking barrier; the constants below follow that shape.
@@ -114,6 +131,8 @@ const (
 
 // SiteStats instruments one store site.
 type SiteStats struct {
+	// Key identifies the compiled site (method × pc).
+	Key  SiteKey
 	Kind SiteKind
 	// Elide records the analysis verdict for the site.
 	Elide ElideKind
@@ -157,7 +176,7 @@ func NewCounters() *Counters {
 func (c *Counters) Site(key SiteKey, kind SiteKind, elide ElideKind) *SiteStats {
 	s, ok := c.sites[key]
 	if !ok {
-		s = &SiteStats{Kind: kind, Elide: elide}
+		s = &SiteStats{Key: key, Kind: kind, Elide: elide}
 		c.sites[key] = s
 	}
 	return s

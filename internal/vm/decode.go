@@ -177,8 +177,10 @@ type dmethod struct {
 	sites   []siteRec
 
 	// pool recycles frames; steady-state call-heavy execution allocates
-	// nothing per invoke.
-	pool []*fframe
+	// nothing per invoke. recycled counts pool hits for the
+	// observability layer (plain counter: the VM is single-goroutine).
+	pool     []*fframe
+	recycled int64
 }
 
 // maxFramePool bounds the per-method free list (deep recursion spikes
@@ -190,6 +192,7 @@ func (m *dmethod) acquire() *fframe {
 	if n := len(m.pool); n > 0 {
 		f := m.pool[n-1]
 		m.pool = m.pool[:n-1]
+		m.recycled++
 		f.pc, f.sp = 0, 0
 		loc := f.locals
 		for i := range loc {

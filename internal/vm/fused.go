@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"satbelim/internal/heap"
+	"satbelim/internal/obs"
 	"satbelim/internal/satb"
 )
 
@@ -45,6 +46,9 @@ type fthread struct {
 	id     int
 	frames []*fframe
 	done   bool
+	// span is the thread's observability lane span (inert when tracing
+	// is disabled).
+	span obs.Span
 }
 
 // ferrf builds a RuntimeError at the frame's current pc.
@@ -78,7 +82,7 @@ func (v *VM) refStoreBarrier(t *fthread, f *fframe, pc int, kind satb.SiteKind, 
 // is the switch engine's: round-robin over live threads, one quantum
 // each, collector tick after every quantum.
 func (v *VM) runFused() (*Result, error) {
-	v.fthreads = []*fthread{{frames: []*fframe{v.dprog.main.acquire()}}}
+	v.fthreads = []*fthread{{frames: []*fframe{v.dprog.main.acquire()}, span: threadSpan(0)}}
 	if v.cfg.ForceMarkingAlways && v.marker != nil {
 		v.startCycle()
 	}
@@ -120,6 +124,7 @@ func (v *VM) runFusedQuantum(t *fthread) error {
 	for i := 0; i < q; {
 		if len(t.frames) == 0 {
 			t.done = true
+			t.span.End()
 			return nil
 		}
 		if v.steps >= v.maxSteps {
@@ -376,7 +381,7 @@ func (v *VM) stepFused(t *fthread, f *fframe, in *dinstr) error {
 			// the spawned thread.
 			v.oracle.escape(recv.R)
 		}
-		v.fthreads = append(v.fthreads, &fthread{id: len(v.fthreads), frames: []*fframe{nf}})
+		v.fthreads = append(v.fthreads, &fthread{id: len(v.fthreads), frames: []*fframe{nf}, span: threadSpan(len(v.fthreads))})
 	case dReturn:
 		t.frames = t.frames[:len(t.frames)-1]
 		f.m.release(f)
@@ -405,6 +410,7 @@ func (v *VM) stepFused(t *fthread, f *fframe, in *dinstr) error {
 // failing component so diagnostics match the reference engine exactly.
 func (v *VM) execFused(t *fthread, f *fframe, fi *finstr) error {
 	v.steps += int64(fi.n)
+	v.fusedExecs++
 
 	switch fi.op {
 	case fLLCmpBr, fLCCmpBr:

@@ -12,6 +12,7 @@ import (
 	"satbelim/internal/gc"
 	"satbelim/internal/heap"
 	"satbelim/internal/num"
+	"satbelim/internal/obs"
 	"satbelim/internal/satb"
 )
 
@@ -62,6 +63,20 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineSwitch, nil
 	}
 	return EngineFused, fmt.Errorf("unknown engine %q (want fused or switch)", s)
+}
+
+// ParseGCKind parses a collector name ("none", "satb", or "inc"). All
+// CLIs share it so the flag vocabulary cannot drift.
+func ParseGCKind(s string) (GCKind, error) {
+	switch s {
+	case "none", "":
+		return GCNone, nil
+	case "satb":
+		return GCSATB, nil
+	case "inc":
+		return GCIncremental, nil
+	}
+	return GCNone, fmt.Errorf("unknown gc %q (want none, satb, or inc)", s)
 }
 
 // Config controls one VM run.
@@ -143,6 +158,9 @@ type thread struct {
 	id     int
 	frames []*frame
 	done   bool
+	// span is the thread's observability lane span (inert when tracing
+	// is disabled).
+	span obs.Span
 }
 
 // VM is one interpreter instance.
@@ -169,6 +187,13 @@ type VM struct {
 	cycles         int
 	finalPauseWork int
 	swept          int
+
+	// fusedExecs counts superinstruction dispatches (fused engine only);
+	// cycleSpan is the open observability span of the current marking
+	// cycle (inert when tracing is disabled). Plain counters, never
+	// synchronized: the VM runs on one goroutine.
+	fusedExecs int64
+	cycleSpan  obs.Span
 }
 
 // New prepares a VM for the program.
@@ -201,9 +226,12 @@ func New(p *bytecode.Program, cfg Config) *VM {
 	if cfg.Engine != EngineSwitch {
 		// Decode failures (unresolved refs, missing main) fall back to the
 		// switch interpreter, which reports them as runtime errors.
-		if d, err := decodeProgram(p, v.heap.Layout()); err == nil {
+		sp := obs.StartSpan("main", "pipeline", "decode")
+		d, err := decodeProgram(p, v.heap.Layout())
+		if err == nil {
 			v.dprog = d
 		}
+		sp.EndArgs(obs.KV{K: "ok", V: b2i(err == nil)})
 	}
 	return v
 }
@@ -230,10 +258,82 @@ func (v *VM) logger() satb.Logger {
 
 // Run executes main to completion (all threads).
 func (v *VM) Run() (*Result, error) {
+	sp := obs.StartSpan("vm", "vm", "run")
+	res, err := v.run()
+	if sp.Recording() {
+		sp.EndArgs(obs.KV{K: "engine", S: v.EngineUsed().String()},
+			obs.KV{K: "steps", V: v.steps},
+			obs.KV{K: "cycles", V: int64(v.cycles)})
+		v.publishObs(err == nil)
+	}
+	return res, err
+}
+
+func (v *VM) run() (*Result, error) {
 	if v.dprog != nil {
 		return v.runFused()
 	}
 	return v.runSwitch()
+}
+
+// publishObs flushes the run's execution counters into the observability
+// registry. Called once per run, only when tracing is enabled — the VM's
+// hot loops carry no hooks at all, so the disabled path is untouched and
+// the enabled path's overhead is O(sites), not O(instructions).
+func (v *VM) publishObs(ok bool) {
+	obs.Count("vm.runs", 1)
+	obs.Count("vm.engine."+v.EngineUsed().String(), 1)
+	obs.Count("vm.steps", v.steps)
+	obs.Count("vm.cycles", int64(v.cycles))
+	obs.Count("vm.final_pause_work", int64(v.finalPauseWork))
+	obs.Count("vm.allocated", v.heap.Allocated)
+	obs.Count("vm.swept", int64(v.swept))
+	obs.Count("vm.fused_execs", v.fusedExecs)
+	if !ok {
+		obs.Count("vm.failed_runs", 1)
+	}
+	if v.dprog != nil {
+		recycles := int64(0)
+		for _, m := range v.dprog.methods {
+			recycles += m.recycled
+		}
+		obs.Count("vm.frame_pool.recycles", recycles)
+	}
+	if v.oracle != nil {
+		obs.Count("vm.oracle.checks", v.oracle.checks)
+	}
+	obs.Count("vm.barrier.cost", int64(v.counters.Cost))
+	obs.Count("vm.barrier.logged", int64(v.counters.Logged))
+	obs.Count("vm.barrier.cards_dirtied", int64(v.counters.CardsDirtied))
+	obs.Count("vm.barrier.static_execs", int64(v.counters.StaticExecs))
+	// Per-site barrier hit/elide counts, keyed by method and pc so every
+	// compiled store site's dynamic behaviour is inspectable.
+	for _, s := range v.counters.Sites() {
+		sum := s.Execs
+		elided := uint64(0)
+		if s.Elide != satb.ElideNone {
+			elided = s.Execs
+		}
+		obs.Count(fmt.Sprintf("vm.site.%s.%d.execs", s.Key.Method, s.Key.PC), int64(sum))
+		if elided > 0 {
+			obs.Count(fmt.Sprintf("vm.site.%s.%d.elided", s.Key.Method, s.Key.PC), int64(elided))
+		}
+	}
+	sum := v.counters.Summarize()
+	obs.Count("vm.barrier.execs", int64(sum.TotalExecs))
+	obs.Count("vm.barrier.elided_execs", int64(sum.ElidedExecs))
+	obs.Count("vm.barrier.null_or_same_execs", int64(sum.NullOrSameExecs))
+	obs.Count("vm.barrier.rearrange_execs", int64(sum.RearrangeExecs))
+}
+
+// threadSpan opens a lane span covering one VM thread's lifetime (inert
+// when tracing is disabled; the Enabled guard keeps the lane-name format
+// off the disabled path).
+func threadSpan(id int) obs.Span {
+	if !obs.Enabled() {
+		return obs.Span{}
+	}
+	return obs.StartSpan(fmt.Sprintf("vm/thread%d", id), "vm", "thread")
 }
 
 // runSwitch executes the program on the reference switch interpreter.
@@ -242,7 +342,7 @@ func (v *VM) runSwitch() (*Result, error) {
 	if main == nil {
 		return nil, fmt.Errorf("vm: no main method %s", v.prog.Main)
 	}
-	v.threads = []*thread{{frames: []*frame{newFrame(main)}}}
+	v.threads = []*thread{{frames: []*frame{newFrame(main)}, span: threadSpan(0)}}
 	if v.cfg.ForceMarkingAlways && v.marker != nil {
 		v.startCycle()
 	}
@@ -335,6 +435,7 @@ func (v *VM) roots() []heap.Ref {
 
 // startCycle begins a marking cycle.
 func (v *VM) startCycle() {
+	v.cycleSpan = obs.StartSpan("vm/gc", "gc", "mark-cycle")
 	v.marker.Start(v.roots(), v.cfg.CheckInvariant)
 	v.allocSinceGC = 0
 }
@@ -350,7 +451,25 @@ func (v *VM) finishCycle() {
 			}
 		}
 	}
-	v.swept += v.heap.Sweep()
+	swept := v.heap.Sweep()
+	v.swept += swept
+	if v.cycleSpan.Recording() {
+		cs := v.marker.Stats()
+		v.cycleSpan.EndArgs(
+			obs.KV{K: "marked", V: int64(cs.Marked)},
+			obs.KV{K: "mark_steps", V: int64(cs.Steps)},
+			obs.KV{K: "final_pause_work", V: int64(cs.FinalPauseWork)},
+			obs.KV{K: "log_entries", V: int64(cs.LogEntries)},
+			obs.KV{K: "cards_seen", V: int64(cs.CardsSeen)},
+			obs.KV{K: "retraces", V: int64(cs.Retraces)},
+			obs.KV{K: "swept", V: int64(swept)},
+		)
+		v.cycleSpan = obs.Span{}
+		obs.Count("gc.cycles", 1)
+		obs.Count("gc.marked", int64(cs.Marked))
+		obs.Count("gc.log_entries", int64(cs.LogEntries))
+		obs.Count("gc.final_pause_work", int64(cs.FinalPauseWork))
+	}
 }
 
 // gcTick advances the collector after each quantum.
@@ -389,6 +508,7 @@ func (v *VM) runQuantum(t *thread) error {
 	for i := 0; i < v.cfg.Quantum; i++ {
 		if len(t.frames) == 0 {
 			t.done = true
+			t.span.End()
 			return nil
 		}
 		if v.steps >= v.maxSteps {
@@ -675,7 +795,7 @@ func (v *VM) step(t *thread) error {
 			// the spawned thread.
 			v.oracle.escape(recv.R)
 		}
-		v.threads = append(v.threads, &thread{id: len(v.threads), frames: []*frame{nf}})
+		v.threads = append(v.threads, &thread{id: len(v.threads), frames: []*frame{nf}, span: threadSpan(len(v.threads))})
 	case bytecode.OpReturn:
 		t.frames = t.frames[:len(t.frames)-1]
 		if len(t.frames) > 0 {
