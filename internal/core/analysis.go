@@ -70,6 +70,15 @@ type Options struct {
 	// collapsing differing integers to ⊤.
 	NoStrideInference bool
 
+	// UnsoundSkipBDemotion is a DELIBERATELY UNSOUND fault-injection
+	// knob for the metamorphic harness's self-test (satbtest must catch
+	// it): allocation sites skip the R_id/A → R_id/B demotion, so
+	// objects from earlier executions of a site keep the unique A name
+	// and inherit the fresh allocation's "all fields null, thread-local"
+	// facts. Never enable it outside harness validation — unlike the
+	// ablations above it breaks the analysis's soundness argument.
+	UnsoundSkipBDemotion bool
+
 	// Interprocedural enables escape summaries (see summaries.go): a
 	// call escapes only the arguments its callee may publish or mutate,
 	// instead of all of them (§2.4's named future work).
@@ -761,7 +770,9 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 		case bytecode.OpNewInstance:
 			ra := a.refs.allocA[pc]
 			rb := a.refs.allocB[pc]
-			s.renameAlloc(ra, rb)
+			if !a.opts.UnsoundSkipBDemotion {
+				s.renameAlloc(ra, rb)
+			}
 			if a.opts.SingleRefPerSite {
 				// Weak semantics: the site's fields merge with null
 				// (no-op for absent entries) rather than resetting.
@@ -780,7 +791,9 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			n := s.pop().Int()
 			ra := a.refs.allocA[pc]
 			rb := a.refs.allocB[pc]
-			s.renameAlloc(ra, rb)
+			if !a.opts.UnsoundSkipBDemotion {
+				s.renameAlloc(ra, rb)
+			}
 			// The summary B inherits no length/range facts: its members'
 			// lengths differ across the site's executions.
 			s.delLength(rb)

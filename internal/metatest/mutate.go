@@ -1,0 +1,107 @@
+package metatest
+
+// Source mutations for the metamorphic properties. Both operate on
+// MiniJava source text and are conservative: when no safe mutation site
+// exists they report ok=false and the property holds vacuously.
+
+import (
+	"regexp"
+	"strings"
+)
+
+// deadClass is the fresh class the dead-store mutation allocates; the
+// "mt" prefix is reserved — progen never emits identifiers starting with
+// it, so the insertion cannot capture or shadow program names.
+const deadClass = "MTDead"
+
+// deadStmts is the inserted unobservable statement block. Nothing ever
+// reads mtp/mtd or MTDead.link, so program output is untouched, but the
+// block executes real reference stores: mtd.link is a fresh-object store
+// (legitimately elidable), while mtp.link on iterations ≥ 2 overwrites a
+// non-null slot through a loop-carried alias of the allocation site —
+// exactly the R/A→R/B demotion shape, placed before mtd's own store so a
+// demotion-skipping analysis would wrongly judge it pre-null. The oracle
+// run in checkDeadStoreMonotone catches such an elision immediately.
+const deadStmts = `        MTDead mtp = null;
+        for (int mti = 0; mti < 3; mti = mti + 1) {
+            MTDead mtd = new MTDead();
+            if (mtp != null) { mtp.link = new MTDead(); }
+            mtd.link = new MTDead();
+            mtp = mtd;
+        }
+`
+
+// InsertDeadStores inserts the unobservable store block at the top of
+// main and appends the fresh class it uses. ok is false when the source
+// has no recognizable main.
+func InsertDeadStores(src string) (mutated string, ok bool) {
+	const marker = "static void main() {"
+	i := strings.Index(src, marker)
+	if i < 0 || strings.Contains(src, deadClass) {
+		return src, false
+	}
+	// Insert after the end of the marker's line.
+	nl := strings.IndexByte(src[i:], '\n')
+	if nl < 0 {
+		return src, false
+	}
+	at := i + nl + 1
+	var b strings.Builder
+	b.WriteString(src[:at])
+	b.WriteString(deadStmts)
+	b.WriteString(src[at:])
+	b.WriteString("class " + deadClass + " { " + deadClass + " link; }\n")
+	return b.String(), true
+}
+
+// intDeclRe matches a pure int declaration statement line: an arithmetic
+// initializer over constants, locals, and field reads — no calls, no
+// allocations, no stores — so two adjacent such lines commute unless the
+// second reads the first's variable.
+var intDeclRe = regexp.MustCompile(`^\s*int (x\d+) = ([^;]*);$`)
+
+// SwapIndependentStmts swaps the first adjacent pair of independent pure
+// int declarations. ok is false when no such pair exists.
+func SwapIndependentStmts(src string) (mutated string, ok bool) {
+	lines := strings.Split(src, "\n")
+	for i := 0; i+1 < len(lines); i++ {
+		m1 := intDeclRe.FindStringSubmatch(lines[i])
+		if m1 == nil {
+			continue
+		}
+		m2 := intDeclRe.FindStringSubmatch(lines[i+1])
+		if m2 == nil {
+			continue
+		}
+		// Independent: neither initializer mentions the other's variable.
+		// (The first can't legally mention the second's, but progen names
+		// recur across scopes, so check both directions on the raw text.)
+		if mentionsVar(m2[2], m1[1]) || mentionsVar(m1[2], m2[1]) {
+			continue
+		}
+		lines[i], lines[i+1] = lines[i+1], lines[i]
+		return strings.Join(lines, "\n"), true
+	}
+	return src, false
+}
+
+// mentionsVar reports whether expr contains name as a whole identifier.
+func mentionsVar(expr, name string) bool {
+	for off := 0; ; {
+		j := strings.Index(expr[off:], name)
+		if j < 0 {
+			return false
+		}
+		j += off
+		before := j == 0 || !isIdentChar(expr[j-1])
+		after := j+len(name) == len(expr) || !isIdentChar(expr[j+len(name)])
+		if before && after {
+			return true
+		}
+		off = j + 1
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

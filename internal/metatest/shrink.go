@@ -1,0 +1,141 @@
+package metatest
+
+// Shrinker: delta-debugging over MiniJava source lines. Candidates are
+// brace-balanced chunks — whole top-level classes, statement blocks (a
+// line ending in "{" through its matching "}"), and single statement
+// lines — removed greedily largest-first while the caller's predicate
+// keeps holding. The predicate only accepts compiling counterexamples
+// (see Violation), so shrinking never wanders into syntactically broken
+// territory.
+
+import "strings"
+
+// ShrinkResult reports what the shrinker did.
+type ShrinkResult struct {
+	Source string // minimized source
+	Checks int    // predicate evaluations spent
+	Lines  int    // non-blank lines in Source
+}
+
+// Shrink minimizes src subject to keep: keep(src) must be true on entry,
+// and the returned source still satisfies it. maxChecks bounds predicate
+// evaluations (≤ 0 means a default of 400).
+func Shrink(src string, keep func(string) bool, maxChecks int) ShrinkResult {
+	if maxChecks <= 0 {
+		maxChecks = 400
+	}
+	lines := strings.Split(src, "\n")
+	checks := 0
+	// Each pass enumerates candidates once and marks removals instead of
+	// splicing, so every candidate's line range stays valid for the whole
+	// pass; splicing happens between passes. One predicate evaluation per
+	// candidate per pass keeps the budget linear in program size.
+	for {
+		removed := make([]bool, len(lines))
+		progressed := false
+		for _, ch := range chunksOf(lines) {
+			if checks >= maxChecks {
+				break
+			}
+			live := false
+			for i := ch.start; i <= ch.end; i++ {
+				if !removed[i] {
+					live = true
+					break
+				}
+			}
+			if !live {
+				continue // swallowed by an earlier removal this pass
+			}
+			cand := joinExcept(lines, removed, ch)
+			checks++
+			if keep(cand) {
+				for i := ch.start; i <= ch.end; i++ {
+					removed[i] = true
+				}
+				progressed = true
+			}
+		}
+		var kept []string
+		for i, l := range lines {
+			if !removed[i] {
+				kept = append(kept, l)
+			}
+		}
+		lines = kept
+		if !progressed || checks >= maxChecks {
+			break
+		}
+	}
+	out := strings.Join(lines, "\n")
+	return ShrinkResult{Source: out, Checks: checks, Lines: countLines(out)}
+}
+
+// joinExcept renders the lines not yet removed, additionally dropping the
+// trial chunk.
+func joinExcept(lines []string, removed []bool, ch chunk) string {
+	var b strings.Builder
+	for i, l := range lines {
+		if removed[i] || (i >= ch.start && i <= ch.end) {
+			continue
+		}
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// countLines counts non-blank lines.
+func countLines(s string) int {
+	n := 0
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+type chunk struct{ start, end int } // inclusive line range
+
+// chunksOf enumerates removable candidates, largest first: brace-balanced
+// blocks (including whole classes and loops), then single statement
+// lines. Lines that only open or close braces are never removed alone.
+func chunksOf(lines []string) []chunk {
+	var blocks []chunk
+	var singles []chunk
+	var stack []int
+	for i, raw := range lines {
+		l := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(l, "}") && strings.HasSuffix(l, "{"):
+			// "} else {": continuation — the open block spans both arms,
+			// so the whole if/else is one removable candidate.
+		case strings.HasSuffix(l, "{"):
+			stack = append(stack, i)
+		case l == "}":
+			if len(stack) > 0 {
+				open := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				blocks = append(blocks, chunk{open, i})
+			}
+		case l == "" || strings.HasPrefix(l, "//"):
+			// skip blanks and comments as single candidates; they vanish
+			// with their enclosing block.
+		case strings.Contains(l, "{"):
+			// One-line guarded statement (if (..) { .. }): removable whole.
+			singles = append(singles, chunk{i, i})
+		default:
+			singles = append(singles, chunk{i, i})
+		}
+	}
+	// Largest blocks first so whole classes and loops go in one check.
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			if blocks[j].end-blocks[j].start > blocks[i].end-blocks[i].start {
+				blocks[i], blocks[j] = blocks[j], blocks[i]
+			}
+		}
+	}
+	return append(blocks, singles...)
+}

@@ -1,0 +1,151 @@
+package metatest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShrinkRemovesIrrelevantLines: a predicate that only needs one magic
+// line shrinks everything else away.
+func TestShrinkRemovesIrrelevantLines(t *testing.T) {
+	src := strings.Join([]string{
+		"class A {",
+		"    int a;",
+		"}",
+		"class B {",
+		"    MAGIC",
+		"    int b;",
+		"}",
+		"class C {",
+		"    int c;",
+		"}",
+	}, "\n")
+	keep := func(s string) bool { return strings.Contains(s, "MAGIC") }
+	got := Shrink(src, keep, 0)
+	if !strings.Contains(got.Source, "MAGIC") {
+		t.Fatal("shrinker lost the failing line")
+	}
+	// Classes A and C vanish whole; B keeps only its braces around MAGIC.
+	for _, gone := range []string{"class A", "class C", "int a;", "int b;", "int c;"} {
+		if strings.Contains(got.Source, gone) {
+			t.Errorf("irrelevant %q kept:\n%s", gone, got.Source)
+		}
+	}
+	if got.Lines > 3 {
+		t.Errorf("want ≤ 3 lines, got %d:\n%s", got.Lines, got.Source)
+	}
+	if got.Checks == 0 {
+		t.Error("no predicate evaluations recorded")
+	}
+}
+
+// TestShrinkKeepsBalancedBlocks: the block containing the magic line
+// survives whole while sibling blocks vanish; the result still brace-
+// balances.
+func TestShrinkKeepsBalancedBlocks(t *testing.T) {
+	src := strings.Join([]string{
+		"class A {",
+		"    void m() {",
+		"        x = 1;",
+		"        MAGIC;",
+		"    }",
+		"    void n() {",
+		"        y = 2;",
+		"    }",
+		"}",
+	}, "\n")
+	keep := func(s string) bool {
+		// A realistic predicate demands structure, not just the token:
+		// the magic line inside some braces.
+		return strings.Contains(s, "MAGIC") && balanced(s)
+	}
+	got := Shrink(src, keep, 0)
+	if !strings.Contains(got.Source, "MAGIC") || !balanced(got.Source) {
+		t.Fatalf("shrunk source broken:\n%s", got.Source)
+	}
+	if strings.Contains(got.Source, "y = 2") {
+		t.Errorf("irrelevant sibling block kept:\n%s", got.Source)
+	}
+}
+
+func balanced(s string) bool {
+	d := 0
+	for _, c := range s {
+		switch c {
+		case '{':
+			d++
+		case '}':
+			d--
+		}
+		if d < 0 {
+			return false
+		}
+	}
+	return d == 0
+}
+
+// TestShrinkRespectsBudget: the check budget is a hard cap.
+func TestShrinkRespectsBudget(t *testing.T) {
+	var lines []string
+	for i := 0; i < 100; i++ {
+		lines = append(lines, "stmt;")
+	}
+	lines = append(lines, "MAGIC")
+	got := Shrink(strings.Join(lines, "\n"), func(s string) bool {
+		return strings.Contains(s, "MAGIC")
+	}, 7)
+	if got.Checks > 7 {
+		t.Errorf("spent %d checks, budget 7", got.Checks)
+	}
+	if !strings.Contains(got.Source, "MAGIC") {
+		t.Fatal("lost the failing line")
+	}
+}
+
+func TestInsertDeadStores(t *testing.T) {
+	src := "class Main {\n    static void main() {\n        print(1);\n    }\n}\n"
+	mut, ok := InsertDeadStores(src)
+	if !ok {
+		t.Fatal("no insertion point found")
+	}
+	if !strings.Contains(mut, "MTDead mtp = null;") || !strings.Contains(mut, "class MTDead") {
+		t.Fatalf("mutation missing pieces:\n%s", mut)
+	}
+	if !balanced(mut) {
+		t.Fatalf("mutant not brace-balanced:\n%s", mut)
+	}
+	// Idempotence guard: a source already mutated is left alone.
+	if _, again := InsertDeadStores(mut); again {
+		t.Error("re-mutated an already-mutated source")
+	}
+}
+
+func TestSwapIndependentStmts(t *testing.T) {
+	src := "class Main {\n    static void main() {\n        int x1 = 3;\n        int x2 = 4;\n        print(x1 + x2);\n    }\n}\n"
+	mut, ok := SwapIndependentStmts(src)
+	if !ok {
+		t.Fatal("no swappable pair found")
+	}
+	i1 := strings.Index(mut, "int x1")
+	i2 := strings.Index(mut, "int x2")
+	if i1 < 0 || i2 < 0 || i2 > i1 {
+		t.Fatalf("pair not swapped:\n%s", mut)
+	}
+
+	// Dependent pair: x2 reads x1, must not swap.
+	dep := "class Main {\n    static void main() {\n        int x1 = 3;\n        int x2 = x1 + 1;\n        print(x2);\n    }\n}\n"
+	if _, ok := SwapIndependentStmts(dep); ok {
+		t.Error("swapped a dependent pair")
+	}
+
+	// Prefix-named variables must not fool the dependence check:
+	// x1 vs x12 are distinct identifiers.
+	pre := "        int x1 = 3;\n        int x12 = x1 * 2;\n"
+	if _, ok := SwapIndependentStmts(pre); ok {
+		t.Error("swapped despite x12 reading x1")
+	}
+	ok2 := "        int x1 = x12 + 1;\n        int x2 = 4;\n"
+	if _, swapped := SwapIndependentStmts(ok2); !swapped {
+		t.Error("x12 in the initializer wrongly blocked an x1/x2-independent swap")
+	}
+}

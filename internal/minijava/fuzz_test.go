@@ -26,6 +26,12 @@ class A { static void main() { W w = new W(); spawn w.work(); } }`)
 	for _, src := range progen.Corpus(9000, 3, progen.DefaultConfig()) {
 		f.Add(src)
 	}
+	// Campaign-config sources add the strided-init, alloc-reuse,
+	// aliasing, and escape-store idioms the metamorphic harness
+	// generates from (cmd/satbtest).
+	for _, src := range progen.Corpus(17000, 3, progen.CampaignConfig()) {
+		f.Add(src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		// Pathological nesting makes the recursive-descent parser's cost
 		// quadratic-ish; bound input size to keep iterations fast.

@@ -6,9 +6,23 @@
 //
 // Generated programs are total by construction: loops are bounded
 // counting loops, the call graph is acyclic (a method only calls methods
-// with larger indices), reference variables are always initialized with
-// allocations, array indices are reduced modulo the (constant, non-zero)
-// array length, and divisions use non-zero constant divisors.
+// with larger indices), reference variables visible to the general
+// statement pool are always initialized with allocations (the AllocReuse
+// idiom's null-initialized loop-carried variable stays private to its
+// pattern and is dereferenced only behind a null guard), array indices
+// are reduced modulo the (constant, non-zero) array length, array
+// elements are written but never read (so partially initialized arrays
+// are inert), and divisions use non-zero constant divisors.
+//
+// Beyond the size bounds, Config carries campaign knobs (StridedInit,
+// AllocReuse, Aliasing, EscapeStores) that add statement shapes targeting
+// the specific facts the barrier analyses reason about: strided
+// array-initialization loops (merge_intvals stride discovery),
+// loop-carried allocation-site reuse (the R_id/A → R_id/B strong-update
+// demotion), alias chains, and stores into escaped objects. All knobs
+// default off, and with every knob off the generator reproduces its
+// historical output bit-for-bit for any seed; CampaignConfig enables them
+// all for the satbtest metamorphic campaigns.
 package progen
 
 import (
@@ -17,18 +31,51 @@ import (
 	"strings"
 )
 
-// Config bounds the generated program.
+// Config bounds the generated program. The boolean knobs enable the
+// campaign idioms — statement shapes targeting the specific facts the
+// barrier analyses reason about. All default off; with every knob false
+// the generator's output is identical to what it produced before the
+// knobs existed (same seed, same program), so historical corpora replay.
 type Config struct {
 	Classes     int // number of data classes (≥1)
 	Methods     int // number of static methods besides main (≥0)
 	MaxStmts    int // statements per block (≥1)
 	MaxDepth    int // statement nesting depth
 	MaxExprSize int // expression size budget
+
+	// StridedInit emits strided array-initialization loops
+	// (for i = 0; i < len; i = i + s) a[i] = new C(i), exercising the
+	// merge_intvals stride discovery (paper Figure 1) with strides > 1
+	// and partially initialized arrays.
+	StridedInit bool
+	// AllocReuse emits loop-carried allocation-site reuse: a variable
+	// keeps the previous iteration's object alive while the site
+	// re-executes, so the analysis must demote the site's R_id/A
+	// reference to the R_id/B summary (weak updates only) before
+	// judging stores through the stale name.
+	AllocReuse bool
+	// Aliasing emits alias chains: a second local naming an existing
+	// object, with stores through either name.
+	Aliasing bool
+	// EscapeStores emits stores into already-published objects
+	// (G.g<i>.link = ...), whose barriers must always be kept.
+	EscapeStores bool
 }
 
 // DefaultConfig is a moderate size suitable for quick differential runs.
 func DefaultConfig() Config {
 	return Config{Classes: 3, Methods: 4, MaxStmts: 6, MaxDepth: 3, MaxExprSize: 6}
+}
+
+// CampaignConfig is DefaultConfig with every campaign idiom enabled —
+// the configuration the satbtest metamorphic campaigns generate from.
+func CampaignConfig() Config {
+	c := DefaultConfig()
+	c.StridedInit = true
+	c.AllocReuse = true
+	c.Aliasing = true
+	c.EscapeStores = true
+	return c
 }
 
 // Generate returns the source of a random program for the seed.
@@ -39,6 +86,18 @@ func Generate(seed int64, cfg Config) string {
 	g := &gen{
 		r:   rand.New(rand.NewSource(seed)),
 		cfg: cfg,
+	}
+	if cfg.StridedInit {
+		g.extras = append(g.extras, extraStridedInit)
+	}
+	if cfg.AllocReuse {
+		g.extras = append(g.extras, extraAllocReuse)
+	}
+	if cfg.Aliasing {
+		g.extras = append(g.extras, extraAliasing)
+	}
+	if cfg.EscapeStores {
+		g.extras = append(g.extras, extraEscapeStore)
 	}
 	return g.program()
 }
@@ -56,6 +115,11 @@ type gen struct {
 	r   *rand.Rand
 	cfg Config
 	buf strings.Builder
+
+	// extras lists the enabled campaign statement kinds; stmt draws from
+	// 10+len(extras) choices so that with no knobs enabled the random
+	// stream (and thus every historical seed's program) is unchanged.
+	extras []extraKind
 
 	// scope is the stack of visible locals.
 	scope []variable
@@ -150,9 +214,13 @@ func (g *gen) anyClass() string { return g.class(g.r.Intn(g.cfg.Classes)) }
 func (g *gen) stmt(level int) {
 	ind := g.indent(level)
 	deep := g.depth >= g.cfg.MaxDepth
-	choice := g.r.Intn(10)
+	choice := g.r.Intn(10 + len(g.extras))
 	if deep && choice >= 6 {
 		choice = g.r.Intn(6)
+	}
+	if choice >= 10 {
+		g.extraStmt(g.extras[choice-10], level)
+		return
 	}
 	switch choice {
 	case 0: // int local
@@ -237,6 +305,86 @@ func (g *gen) stmt(level int) {
 		}
 		fmt.Fprintf(&g.buf, "%sG.acc = G.acc + Main.m%d(%s, %s);\n",
 			ind, callee, g.intExpr(3), recv)
+	}
+}
+
+// extraKind names a campaign statement shape (see the Config knobs).
+type extraKind int
+
+const (
+	extraStridedInit extraKind = iota
+	extraAllocReuse
+	extraAliasing
+	extraEscapeStore
+)
+
+// extraStmt emits one campaign-idiom statement.
+func (g *gen) extraStmt(kind extraKind, level int) {
+	ind := g.indent(level)
+	switch kind {
+	case extraStridedInit:
+		// A strided fill initializes only every s-th slot; nothing ever
+		// loads array elements, so the nulls left behind are inert. The
+		// i = i + s update is what drives merge_intvals to invent a
+		// stride-s variable unknown for the loop index and the array's
+		// uninitialized-range bound together.
+		cls := g.anyClass()
+		name := g.fresh("sa")
+		idx := g.fresh("i")
+		stride := 2 + g.r.Intn(2)
+		length := arrayLen * stride
+		fmt.Fprintf(&g.buf, "%s%s[] %s = new %s[%d];\n", ind, cls, name, cls, length)
+		fmt.Fprintf(&g.buf, "%sfor (int %s = 0; %s < %d; %s = %s + %d) %s[%s] = new %s(%s);\n",
+			ind, idx, idx, length, idx, idx, stride, name, idx, cls, idx)
+		g.scope = append(g.scope, variable{name, cls + "[]"})
+	case extraAllocReuse:
+		// Loop-carried allocation-site reuse: prev holds the previous
+		// iteration's object while the site re-executes, so the analysis
+		// must demote R_site/A to the R_site/B summary before judging
+		// prev.link — that store overwrites the non-null link set in
+		// prev's own iteration and its barrier must be kept. The locals
+		// deliberately stay out of scope: prev is null on the first
+		// iteration and must only be dereferenced behind its guard.
+		ci := g.r.Intn(g.cfg.Classes)
+		cls, next := g.class(ci), g.class((ci+1)%g.cfg.Classes)
+		prev, o, idx := g.fresh("prev"), g.fresh("o"), g.fresh("i")
+		bound := 3 + g.r.Intn(3)
+		fmt.Fprintf(&g.buf, "%s%s %s = null;\n", ind, cls, prev)
+		fmt.Fprintf(&g.buf, "%sfor (int %s = 0; %s < %d; %s = %s + 1) {\n",
+			ind, idx, idx, bound, idx, idx)
+		fmt.Fprintf(&g.buf, "%s    %s %s = new %s(%s);\n", ind, cls, o, cls, idx)
+		fmt.Fprintf(&g.buf, "%s    %s.link = new %s(%s);\n", ind, o, next, idx)
+		fmt.Fprintf(&g.buf, "%s    if (%s != null) { %s.link = new %s(7); }\n", ind, prev, prev, next)
+		fmt.Fprintf(&g.buf, "%s    %s = %s;\n", ind, prev, o)
+		fmt.Fprintf(&g.buf, "%s}\n", ind)
+		if g.r.Intn(2) == 0 {
+			// Sometimes publish the survivor (escape after the loop).
+			fmt.Fprintf(&g.buf, "%sG.g%d = %s;\n", ind, ci, prev)
+		} else {
+			fmt.Fprintf(&g.buf, "%sif (%s != null) { G.acc = G.acc + %s.a; }\n", ind, prev, prev)
+		}
+	case extraAliasing:
+		// Alias chain: a second name for an existing object, with a
+		// store through the alias — the analysis must see both names hit
+		// the same abstract reference.
+		objs := g.refVars()
+		if len(objs) == 0 {
+			fmt.Fprintf(&g.buf, "%sG.acc = G.acc + 1;\n", ind)
+			return
+		}
+		o := objs[g.r.Intn(len(objs))]
+		al := g.fresh("al")
+		fmt.Fprintf(&g.buf, "%s%s %s = %s;\n", ind, o.typ, al, o.name)
+		fmt.Fprintf(&g.buf, "%s%s.link = new %s(%s);\n", ind, al, g.linkClassOf(o.typ), g.intExpr(3))
+		fmt.Fprintf(&g.buf, "%sG.acc = G.acc + %s.b;\n", ind, al)
+		g.scope = append(g.scope, variable{al, o.typ})
+	case extraEscapeStore:
+		// Store into an already-published object: the target is
+		// non-thread-local at the store, so the barrier must be kept.
+		ci := g.r.Intn(g.cfg.Classes)
+		next := g.class((ci + 1) % g.cfg.Classes)
+		fmt.Fprintf(&g.buf, "%sG.g%d = new %s(%s);\n", ind, ci, g.class(ci), g.intExpr(3))
+		fmt.Fprintf(&g.buf, "%sG.g%d.link = new %s(%s);\n", ind, ci, next, g.intExpr(3))
 	}
 }
 

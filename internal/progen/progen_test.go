@@ -2,6 +2,7 @@ package progen
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"satbelim/internal/core"
@@ -141,6 +142,85 @@ func TestGeneratedProgramsBarrierModeInvariance(t *testing.T) {
 				t.Fatalf("seed %d: output changed under %+v: %v vs %v", seed, cfg, base, res.Output)
 			}
 		}
+	}
+}
+
+// TestCampaignConfigIdiomsAppearAndRunSound checks that the campaign
+// knobs actually emit their idioms across a seed range and that every
+// campaign-config program still compiles, runs, and survives the runtime
+// elision oracle under concurrent marking.
+func TestCampaignConfigIdiomsAppearAndRunSound(t *testing.T) {
+	idioms := map[string]int{"prev": 0, "sa": 0, "al": 0, ".link = new": 0}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := Generate(seed, CampaignConfig())
+		for marker := range idioms {
+			if containsIdent(src, marker) {
+				idioms[marker]++
+			}
+		}
+		b, err := pipeline.Compile("gen", src, pipeline.Options{
+			InlineLimit: 100,
+			Analysis:    core.Options{Mode: core.ModeFieldArray, NullOrSame: true},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		res, err := b.Run(vm.Config{
+			Barrier:            satb.ModeConditional,
+			GC:                 vm.GCSATB,
+			TriggerEveryAllocs: 64,
+			CheckInvariant:     true,
+			CheckElisions:      true,
+			MaxSteps:           20_000_000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: oracle run: %v\n%s", seed, err, src)
+		}
+		if s := res.Counters.Summarize(); len(s.UnsoundSites) != 0 {
+			t.Fatalf("seed %d: unsound elisions %v\n%s", seed, s.UnsoundSites, src)
+		}
+	}
+	for marker, n := range idioms {
+		if n == 0 {
+			t.Errorf("idiom %q never appeared in %d campaign seeds", marker, seeds)
+		}
+	}
+}
+
+// containsIdent reports whether src mentions an identifier with the given
+// prefix followed by a digit (progen's fresh-name shape), or the literal
+// marker when it is not an identifier prefix.
+func containsIdent(src, marker string) bool {
+	if marker == ".link = new" {
+		return strings.Contains(src, marker)
+	}
+	for d := '1'; d <= '9'; d++ {
+		if strings.Contains(src, " "+marker+string(d)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKnobsOffMatchesHistoricalStream: with every campaign knob false the
+// generator must consume the random stream exactly as it always has, so
+// historical seeds reproduce. CampaignConfig programs must differ (the
+// knobs really change the draw space).
+func TestKnobsOffMatchesHistoricalStream(t *testing.T) {
+	plain := Config{Classes: 3, Methods: 4, MaxStmts: 6, MaxDepth: 3, MaxExprSize: 6}
+	for seed := int64(100); seed < 110; seed++ {
+		if Generate(seed, plain) != Generate(seed, DefaultConfig()) {
+			t.Fatalf("seed %d: zero-knob Config differs from DefaultConfig", seed)
+		}
+	}
+	same := 0
+	for seed := int64(100); seed < 110; seed++ {
+		if Generate(seed, DefaultConfig()) == Generate(seed, CampaignConfig()) {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("campaign knobs never changed any generated program")
 	}
 }
 

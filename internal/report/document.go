@@ -47,6 +47,8 @@ type Document struct {
 	Run *RunSummary `json:"run,omitempty"`
 	// Compile is one compilation's summary (satbc).
 	Compile *CompileSummary `json:"compile,omitempty"`
+	// Campaign is one metamorphic campaign's outcome (satbtest).
+	Campaign *CampaignSummary `json:"campaign,omitempty"`
 
 	// Metrics is the observability rollup (-metrics on any tool).
 	Metrics *obs.Metrics `json:"metrics,omitempty"`
@@ -103,6 +105,32 @@ func NewRunSummary(workload string, res *vm.Result) *RunSummary {
 		Swept:          res.Swept,
 		ElisionChecks:  res.ElisionChecks,
 	}
+}
+
+// CampaignSummary is a satbtest metamorphic campaign in Document form.
+// The types are plain data (no metatest import) so the document schema
+// stays self-contained; cmd/satbtest converts.
+type CampaignSummary struct {
+	BaseSeed        int64             `json:"base_seed"`
+	SeedsRun        int               `json:"seeds_run"`
+	Checks          int               `json:"checks"`
+	Properties      []string          `json:"properties"`
+	Failures        []CampaignFailure `json:"failures,omitempty"`
+	BudgetExhausted bool              `json:"budget_exhausted,omitempty"`
+	ElapsedNs       int64             `json:"elapsed_ns"`
+}
+
+// CampaignFailure is one shrunk campaign counterexample. ReproFile names
+// the artifact written under -out (empty when -out was not given); the
+// full repro source is always inline.
+type CampaignFailure struct {
+	Seed         int64  `json:"seed"`
+	Property     string `json:"property"`
+	Message      string `json:"message"`
+	ReproLines   int    `json:"repro_lines"`
+	ShrinkChecks int    `json:"shrink_checks"`
+	Repro        string `json:"repro"`
+	ReproFile    string `json:"repro_file,omitempty"`
 }
 
 // CompileSummary is one compilation in Document form.

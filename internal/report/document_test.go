@@ -43,6 +43,18 @@ func sampleDocument() *Document {
 		FieldElided: 12, ArrayElided: 4, NullOrSame: 2,
 		Degraded: []string{"A.slow (deadline)"},
 	}
+	doc.Campaign = &CampaignSummary{
+		BaseSeed: 0, SeedsRun: 250, Checks: 1250,
+		Properties: []string{"engine-invariance", "inline-soundness"},
+		Failures: []CampaignFailure{{
+			Seed: 17, Property: "inline-soundness",
+			Message:    "limit 50: unsound sites [Main.main:12]",
+			ReproLines: 9, ShrinkChecks: 41,
+			Repro:     "class Main { static void main() { print(0); } }",
+			ReproFile: "repros/seed17-inline-soundness.mj",
+		}},
+		ElapsedNs: 6000000000,
+	}
 	doc.Metrics = &obs.Metrics{
 		Counters: map[string]int64{
 			"analysis.methods":    9,
