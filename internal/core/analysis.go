@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -120,7 +121,20 @@ const (
 	// DegradePanic: the analysis panicked; the recovered value and stack
 	// are in MethodReport.DegradeDetail.
 	DegradePanic DegradeReason = "panic"
+	// DegradeCancelled: the caller's context was cancelled mid-analysis
+	// (observed at block-visit boundaries). Like DegradeDeadline it is a
+	// real-time condition, never reproducible from the inputs alone.
+	DegradeCancelled DegradeReason = "cancelled"
 )
+
+// TimeDriven reports whether a degradation reason depends on wall-clock
+// conditions (deadline, cancellation) rather than on the analyzed input.
+// Callers that memoize analysis results must not share time-driven
+// degradations across requests: a build degraded by one caller's deadline
+// is not the right answer for another caller with time to spare.
+func (r DegradeReason) TimeDriven() bool {
+	return r == DegradeDeadline || r == DegradeCancelled
+}
 
 // MethodReport summarizes one method's analysis.
 type MethodReport struct {
@@ -191,6 +205,9 @@ type analyzer struct {
 	// maxStateSize caps any block out-state's footprint (0 = none).
 	deadline     time.Time
 	maxStateSize int
+	// cancel, when non-nil, is the caller context's Done channel, polled
+	// at the same block-visit boundaries as the deadline.
+	cancel <-chan struct{}
 }
 
 // AnalyzeMethod runs the analysis on one method, setting the Elide /
@@ -202,7 +219,17 @@ type analyzer struct {
 // degraded result — all flags cleared, every barrier kept — with the
 // recovered value and stack in the report. The same holds for methods
 // exceeding the Options budgets (visit count, deadline, state size).
-func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (rep *MethodReport, err error) {
+func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (*MethodReport, error) {
+	return AnalyzeMethodCtx(context.Background(), p, m, opts)
+}
+
+// AnalyzeMethodCtx is AnalyzeMethod under a caller context: cancellation
+// is observed at block-visit boundaries (the fixed point's only loop) and
+// degrades the method soundly to the all-barriers result with reason
+// DegradeCancelled — analysis is never torn down mid-judgment, so a
+// cancelled request can still ship a correct, conservative program. A
+// context deadline earlier than Options.Deadline tightens it.
+func AnalyzeMethodCtx(ctx context.Context, p *bytecode.Program, m *bytecode.Method, opts Options) (rep *MethodReport, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep = degradedReport(p, m, DegradePanic,
@@ -210,6 +237,9 @@ func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (rep *
 			err = nil
 		}
 	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return degradedReport(p, m, DegradeCancelled, cerr.Error()), nil
+	}
 	rep = &MethodReport{Method: m, Converged: true, BytecodeBytes: m.Size()}
 	for pc := range m.Code {
 		m.Code[pc].Elide = false
@@ -240,6 +270,12 @@ func AnalyzeMethod(p *bytecode.Program, m *bytecode.Method, opts Options) (rep *
 	}
 	if opts.Deadline > 0 {
 		a.deadline = time.Now().Add(opts.Deadline)
+	}
+	if d, ok := ctx.Deadline(); ok && (a.deadline.IsZero() || d.Before(a.deadline)) {
+		a.deadline = d
+	}
+	if ctx.Done() != nil {
+		a.cancel = ctx.Done()
 	}
 	rep.AbstractRefs = a.refs.count()
 
@@ -396,8 +432,17 @@ func (a *analyzer) fixpoint() DegradeReason {
 		if a.visits > a.maxVisits {
 			return DegradeVisitBudget
 		}
-		if !a.deadline.IsZero() && a.visits%deadlineCheckInterval == 0 && time.Now().After(a.deadline) {
-			return DegradeDeadline
+		if a.visits%deadlineCheckInterval == 0 {
+			if a.cancel != nil {
+				select {
+				case <-a.cancel:
+					return DegradeCancelled
+				default:
+				}
+			}
+			if !a.deadline.IsZero() && time.Now().After(a.deadline) {
+				return DegradeDeadline
+			}
 		}
 		out, targets := a.simulate(a.entry[id].clone(), a.g.Blocks[id], nil)
 		if a.maxStateSize > 0 && stateFootprint(out) > a.maxStateSize {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"satbelim/internal/codegen"
+	"satbelim/internal/inline"
+	"satbelim/internal/minijava"
+	"satbelim/internal/verifier"
+
+	"satbelim/internal/bytecode"
+)
+
+// compileSrc builds and verifies a program without analyzing it.
+func compileSrc(t *testing.T, src string, inlineLimit int) *bytecode.Program {
+	t.Helper()
+	ast, err := minijava.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ch, err := minijava.Check("t.mj", ast)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	p, err := codegen.Compile(ch)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p = inline.Apply(p, inline.Options{Limit: inlineLimit}).Program
+	if err := verifier.VerifyProgram(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return p
+}
+
+// TestCancelledContextDegradesPromptly is the deadline-plumbing
+// regression test: a cancelled caller context must abort the analysis
+// promptly (observed at block-visit boundaries) and report the methods as
+// Degraded with DegradeCancelled — all barriers kept, no error.
+func TestCancelledContextDegradesPromptly(t *testing.T) {
+	// Enough conditional branching that the fixed point crosses several
+	// cancellation-check boundaries.
+	var b strings.Builder
+	b.WriteString("class N { N next; }\nclass A {\n    static void main() {\n        N n = new N();\n        int s = 0;\n")
+	for i := 0; i < 4*deadlineCheckInterval; i++ {
+		fmt.Fprintf(&b, "        if (s < %d) { s = s + 1; n.next = new N(); }\n", i)
+	}
+	b.WriteString("        print(s);\n    }\n}\n")
+	p := compileSrc(t, b.String(), 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the analysis must not do real work
+	start := time.Now()
+	rep, err := AnalyzeProgramCtx(ctx, p, Options{Mode: ModeFieldArray}, 2)
+	if err != nil {
+		t.Fatalf("cancellation must degrade, not error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled analysis took %v, want prompt abort", elapsed)
+	}
+	deg := rep.Degraded()
+	if len(deg) != len(rep.Methods) {
+		t.Fatalf("%d of %d methods degraded, want all (cancelled before analysis)", len(deg), len(rep.Methods))
+	}
+	for _, m := range deg {
+		if m.Degraded != DegradeCancelled {
+			t.Errorf("%s Degraded = %q, want %q", m.Method.QualifiedName(), m.Degraded, DegradeCancelled)
+		}
+		if m.FieldSites == 0 && m.ArraySites == 0 && m.Method.Name == "main" {
+			t.Error("degraded report should still count barrier sites")
+		}
+	}
+	noElisions(t, p)
+}
+
+// TestContextDeadlineTightensAnalysisDeadline: an already-expired context
+// deadline must degrade mid-fixpoint even when Options.Deadline is
+// generous, via the same wall-clock machinery.
+func TestContextDeadlineTightensAnalysisDeadline(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("class N { N next; }\nclass A {\n    static void main() {\n        N n = new N();\n        int s = 0;\n")
+	for i := 0; i < 4*deadlineCheckInterval; i++ {
+		fmt.Fprintf(&b, "        if (s < %d) { s = s + 1; n.next = new N(); }\n", i)
+	}
+	b.WriteString("        print(s);\n    }\n}\n")
+	p := compileSrc(t, b.String(), 0)
+
+	// A context whose deadline already passed, but which is NOT cancelled
+	// yet: Deadline() is in the past while Done() has not fired only in a
+	// race window, so accept either degradation reason — both are
+	// time-driven and both must keep every barrier.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	rep, err := AnalyzeProgramCtx(ctx, p, Options{Mode: ModeFieldArray, Deadline: time.Hour}, 1)
+	if err != nil {
+		t.Fatalf("deadline must degrade, not error: %v", err)
+	}
+	found := false
+	for _, m := range rep.Methods {
+		if m.Degraded.TimeDriven() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no method degraded under an expired context deadline")
+	}
+	noElisions(t, p)
+}
+
+// TestTimeDrivenClassification pins which degradations count as
+// wall-clock conditions (never shareable across cached requests).
+func TestTimeDrivenClassification(t *testing.T) {
+	for reason, want := range map[DegradeReason]bool{
+		DegradeNone:        false,
+		DegradeVisitBudget: false,
+		DegradeStateSize:   false,
+		DegradePanic:       false,
+		DegradeDeadline:    true,
+		DegradeCancelled:   true,
+	} {
+		if got := reason.TimeDriven(); got != want {
+			t.Errorf("TimeDriven(%q) = %v, want %v", reason, got, want)
+		}
+	}
+}

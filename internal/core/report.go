@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -37,6 +38,15 @@ func AnalyzeProgram(p *bytecode.Program, opts Options) (*ProgramReport, error) {
 // requested, are computed up front by the (sequential) whole-program
 // fixed point and are read-only during the fan-out.
 func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*ProgramReport, error) {
+	return AnalyzeProgramCtx(context.Background(), p, opts, workers)
+}
+
+// AnalyzeProgramCtx is AnalyzeProgramParallel under a caller context:
+// each method's analysis observes cancellation at block-visit boundaries
+// and degrades soundly (DegradeCancelled) rather than erroring, so a
+// cancelled compile still yields a correct all-barriers program whose
+// report says exactly which methods were cut short.
+func AnalyzeProgramCtx(ctx context.Context, p *bytecode.Program, opts Options, workers int) (*ProgramReport, error) {
 	rep := &ProgramReport{}
 	start := time.Now()
 	if opts.Interprocedural && opts.Summaries == nil {
@@ -58,7 +68,7 @@ func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*Pr
 	if workers <= 1 {
 		lane := analysisLane(0)
 		for i, m := range methods {
-			reps[i], errs[i] = analyzeMethodTraced(p, m, opts, lane)
+			reps[i], errs[i] = analyzeMethodTraced(ctx, p, m, opts, lane)
 		}
 	} else {
 		var next atomic.Int64
@@ -73,7 +83,7 @@ func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*Pr
 					if i >= len(methods) {
 						return
 					}
-					reps[i], errs[i] = analyzeMethodTraced(p, methods[i], opts, lane)
+					reps[i], errs[i] = analyzeMethodTraced(ctx, p, methods[i], opts, lane)
 				}
 			}(w)
 		}
@@ -104,12 +114,12 @@ func analysisLane(worker int) string {
 // worker's lane, carrying the fixpoint stats (block visits, convergence,
 // degradation events) the §4.4 measurements care about. Tracing observes
 // only: results are bit-identical with and without it.
-func analyzeMethodTraced(p *bytecode.Program, m *bytecode.Method, opts Options, lane string) (*MethodReport, error) {
+func analyzeMethodTraced(ctx context.Context, p *bytecode.Program, m *bytecode.Method, opts Options, lane string) (*MethodReport, error) {
 	if lane == "" || !obs.Enabled() {
-		return AnalyzeMethod(p, m, opts)
+		return AnalyzeMethodCtx(ctx, p, m, opts)
 	}
 	sp := obs.StartSpan(lane, "analysis", m.QualifiedName())
-	rep, err := AnalyzeMethod(p, m, opts)
+	rep, err := AnalyzeMethodCtx(ctx, p, m, opts)
 	if rep == nil {
 		sp.End()
 		return rep, err

@@ -1,19 +1,34 @@
 package pipeline
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"satbelim/internal/obs"
 )
 
 // The build cache memoizes Compile by content: experiments and tools
 // recompile the same six workload sources dozens of times across table
-// rows, figure sweeps, and differential runs, and every recompilation of
+// rows, figure sweeps, and differential runs, and the satbd daemon sees
+// the same program keys from many tenants at once. Every recompilation of
 // identical inputs produces an identical Build (compilation and analysis
-// are deterministic). Entries are keyed by source hash × options, never
-// by anything ambient, so a hit is exact.
+// are deterministic), so entries are keyed by source hash × options,
+// never by anything ambient, and a hit is exact.
+//
+// Structure: the key space is split across shards, each an independently
+// locked LRU, so concurrent daemon requests touching different programs
+// never contend on one mutex. On top of the shards sits a singleflight
+// layer: N concurrent compiles of the same key run the compile once — the
+// first caller (the "winner") compiles, followers block and share the
+// result. Only clean results are shared; a winner whose build errored or
+// degraded on wall-clock grounds (deadline, cancellation — conditions of
+// that request, not of the key) keeps it private and followers compile
+// for themselves, so one request's deadline never bleeds into another's
+// result.
 //
 // Cached Builds share the Program and Report pointers with the original
 // (both are treated as immutable after Compile); the Build struct itself
@@ -21,13 +36,15 @@ import (
 // stays private to each caller.
 //
 // The cache is an injectable value: Options.Cache selects the instance,
-// nil meaning the process-wide DefaultCache. Tests and embedders that
-// need isolation construct their own with NewCache.
+// nil meaning the process-wide DefaultCache. Tests, embedders, and the
+// satbd daemon construct their own with NewCache.
 
-// DefaultCacheEntries bounds DefaultCache; at the limit the oldest entry
-// is evicted (FIFO — the experiment drivers sweep configurations in
-// passes, so recency is a good proxy for reuse).
+// DefaultCacheEntries bounds DefaultCache; at the limit each shard evicts
+// its least-recently-used entry.
 const DefaultCacheEntries = 128
+
+// cacheShardCount is the number of independently locked LRU shards.
+const cacheShardCount = 8
 
 // cacheKey identifies a build by everything that can influence its
 // output. Workers is semantically inert (results are deterministic for
@@ -43,50 +60,158 @@ type cacheKey struct {
 	analysis    string
 }
 
-// Cache is a content-addressed build cache instance.
-type Cache struct {
-	mu         sync.Mutex
-	maxEntries int
-	entries    map[cacheKey]*Build
-	order      []cacheKey // insertion order for FIFO eviction
-	hits       int64
-	misses     int64
+// shard maps a key onto its LRU shard (FNV-1a over the key fields).
+func (k cacheKey) shard() int {
+	h := fnv.New32a()
+	h.Write([]byte(k.name))
+	h.Write(k.srcHash[:])
+	fmt.Fprintf(h, "|%d|%d|%s", k.inlineLimit, k.workers, k.analysis)
+	return int(h.Sum32() % cacheShardCount)
 }
 
-// NewCache returns an empty cache bounded to maxEntries (<= 0 means
-// DefaultCacheEntries).
+// CacheFaultHook is an injectable shard-failure hook for chaos testing:
+// when it returns true for an operation ("get" or "put") on a shard, that
+// operation fails (the get misses, the put is dropped). A failing shard
+// only costs recomputation — correctness never depends on the cache.
+type CacheFaultHook func(op string, shard int) bool
+
+// cacheShard is one independently locked LRU.
+type cacheShard struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key cacheKey
+	b   *Build
+}
+
+// flightCall is one in-flight compilation for singleflight coalescing.
+type flightCall struct {
+	done chan struct{}
+	// b is set before done closes; shared reports whether followers may
+	// adopt it (false for errors and wall-clock degradations, which are
+	// private to the winner's request).
+	b      *Build
+	shared bool
+}
+
+// Cache is a content-addressed build cache instance: sharded LRU storage
+// plus singleflight compile coalescing. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards [cacheShardCount]cacheShard
+
+	flightMu sync.Mutex
+	flight   map[cacheKey]*flightCall
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	coalesced atomic.Int64
+	faultDrop atomic.Int64
+
+	hook atomic.Pointer[CacheFaultHook]
+}
+
+// NewCache returns an empty cache bounded to maxEntries in total (<= 0
+// means DefaultCacheEntries). The bound is split evenly across shards, so
+// per-shard capacity is maxEntries/8 (minimum 1).
 func NewCache(maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheEntries
 	}
-	return &Cache{maxEntries: maxEntries, entries: map[cacheKey]*Build{}}
+	perShard := maxEntries / cacheShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{flight: map[cacheKey]*flightCall{}}
+	for i := range c.shards {
+		c.shards[i].max = perShard
+		c.shards[i].entries = map[cacheKey]*list.Element{}
+		c.shards[i].lru = list.New()
+	}
+	return c
 }
 
 // DefaultCache is the process-wide build cache used when Options.Cache
-// is nil.
+// is nil. One-shot CLIs share it; the satbd daemon injects its own
+// instance so daemon state never rides on a package global.
 var DefaultCache = NewCache(DefaultCacheEntries)
 
-// CacheStats reports build-cache effectiveness.
+// SetFaultHook installs (or, with nil, removes) the chaos-testing shard
+// failure hook.
+func (c *Cache) SetFaultHook(h CacheFaultHook) {
+	if h == nil {
+		c.hook.Store(nil)
+		return
+	}
+	c.hook.Store(&h)
+}
+
+// faulted consults the installed hook for one shard operation.
+func (c *Cache) faulted(op string, shard int) bool {
+	hp := c.hook.Load()
+	if hp == nil {
+		return false
+	}
+	if (*hp)(op, shard) {
+		c.faultDrop.Add(1)
+		obs.Count("pipeline.cache.fault_drops", 1)
+		return true
+	}
+	return false
+}
+
+// CacheStats reports build-cache effectiveness. Hits counts servings from
+// the LRU, Coalesced counts compiles avoided by singleflight (a follower
+// adopting an in-flight winner's result), Misses counts actual compiles
+// entered through the cache, Evictions counts LRU displacements, and
+// FaultDrops counts operations failed by the chaos hook.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Entries    int   `json:"entries"`
+	Evictions  int64 `json:"evictions"`
+	Coalesced  int64 `json:"coalesced"`
+	FaultDrops int64 `json:"fault_drops,omitempty"`
 }
 
 // Stats returns a snapshot of this cache's counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	s := CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Coalesced:  c.coalesced.Load(),
+		FaultDrops: c.faultDrop.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return s
 }
 
-// Clear empties the cache and resets its counters.
+// Clear empties the cache and resets its counters. In-flight compiles
+// are unaffected (they complete and store into the cleared cache).
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = map[cacheKey]*Build{}
-	c.order = nil
-	c.hits, c.misses = 0, 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = map[cacheKey]*list.Element{}
+		sh.lru = list.New()
+		sh.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.coalesced.Store(0)
+	c.faultDrop.Store(0)
 }
 
 // Stats returns a snapshot of the DefaultCache counters.
@@ -128,37 +253,110 @@ func (o Options) key(name, source string) cacheKey {
 	}
 }
 
-// get returns a caller-private copy of a cached build.
+// get returns the cached build for a key, refreshing its recency.
 func (c *Cache) get(k cacheKey) (*Build, bool) {
-	c.mu.Lock()
-	b, ok := c.entries[k]
-	if !ok {
-		c.misses++
-		c.mu.Unlock()
-		obs.Count("pipeline.cache.misses", 1)
-		obs.Instant("main", "cache", "build-cache-miss")
+	shard := k.shard()
+	if c.faulted("get", shard) {
 		return nil, false
 	}
-	c.hits++
-	c.mu.Unlock()
-	obs.Count("pipeline.cache.hits", 1)
-	obs.Instant("main", "cache", "build-cache-hit")
-	cp := *b
-	cp.CacheHit = true
-	return &cp, true
+	sh := &c.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[k]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).b, true
 }
 
-// put stores a build, evicting the oldest entry at capacity.
+// put stores a build, evicting the shard's least-recently-used entry at
+// capacity.
 func (c *Cache) put(k cacheKey, b *Build) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries[k]; ok {
+	shard := k.shard()
+	if c.faulted("put", shard) {
 		return
 	}
-	if len(c.order) >= c.maxEntries {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
+	sh := &c.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		return
 	}
-	c.entries[k] = b
-	c.order = append(c.order, k)
+	if sh.lru.Len() >= sh.max {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+		obs.Count("pipeline.cache.evictions", 1)
+	}
+	sh.entries[k] = sh.lru.PushFront(&cacheEntry{key: k, b: b})
+}
+
+// do runs one cacheable compilation with hit lookup and singleflight
+// coalescing. It returns the build, whether it came from another request
+// (a cache hit or a coalesced in-flight result — the caller must then
+// take a private copy), and the compile error.
+//
+// Error and wall-clock-degraded results are never shared: the winner
+// returns its own outcome and followers loop around to compile (or
+// coalesce on a newer winner) themselves. The loop terminates because a
+// follower only re-enters it after some winner completed, and fn itself
+// observes the caller's context.
+func (c *Cache) do(k cacheKey, fn func() (*Build, error)) (b *Build, fromCache bool, err error) {
+	for {
+		if b, ok := c.get(k); ok {
+			c.hits.Add(1)
+			obs.Count("pipeline.cache.hits", 1)
+			obs.Instant("main", "cache", "build-cache-hit")
+			return b, true, nil
+		}
+		c.flightMu.Lock()
+		if call, ok := c.flight[k]; ok {
+			c.flightMu.Unlock()
+			<-call.done
+			if call.shared {
+				c.coalesced.Add(1)
+				obs.Count("pipeline.cache.coalesced", 1)
+				obs.Instant("main", "cache", "build-cache-coalesced")
+				return call.b, true, nil
+			}
+			continue
+		}
+		call := &flightCall{done: make(chan struct{})}
+		c.flight[k] = call
+		c.flightMu.Unlock()
+
+		c.misses.Add(1)
+		obs.Count("pipeline.cache.misses", 1)
+		obs.Instant("main", "cache", "build-cache-miss")
+		b, err := fn()
+		call.b = b
+		call.shared = err == nil && shareable(b)
+		if call.shared {
+			c.put(k, b)
+		}
+		c.flightMu.Lock()
+		delete(c.flight, k)
+		c.flightMu.Unlock()
+		close(call.done)
+		return b, false, err
+	}
+}
+
+// shareable reports whether a successful build may be stored and handed
+// to coalesced followers: a build containing wall-clock degradations
+// (deadline, cancellation) reflects the winner request's time budget, not
+// the key, so it stays private and is never cached.
+func shareable(b *Build) bool {
+	if b.Report == nil {
+		return true
+	}
+	for _, m := range b.Report.Degraded() {
+		if m.Degraded.TimeDriven() {
+			return false
+		}
+	}
+	return true
 }

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -128,18 +129,42 @@ func (b *Build) CompiledCodeSize() int {
 // source content, inline limit, worker count, and analysis options) are
 // served from a content-addressed cache unless Options.NoCache is set.
 func Compile(name, source string, opts Options) (*Build, error) {
-	var key cacheKey
-	c := opts.cacheInstance()
-	if opts.cacheable() {
-		key = opts.key(name, source)
-		if b, ok := c.get(key); ok {
-			// The copy is caller-private: stamp the caller's Options on it
-			// so Exec runs under the caller's Runtime config, not the
-			// original compiler's.
-			b.Options = opts
-			return b, nil
-		}
+	return CompileCtx(context.Background(), name, source, opts)
+}
+
+// CompileCtx is Compile under a caller context. Cancellation is observed
+// between the frontend stages (an error return) and inside the analysis
+// fixed point (sound per-method degradation with DegradeCancelled — the
+// build still succeeds, conservatively). Concurrent CompileCtx calls for
+// the same key coalesce onto one compilation via the cache's singleflight
+// layer; results degraded by a request's own deadline are never shared or
+// cached, so no caller observes another caller's time budget.
+func CompileCtx(ctx context.Context, name, source string, opts Options) (*Build, error) {
+	if !opts.cacheable() {
+		return compile(ctx, name, source, opts)
 	}
+	c := opts.cacheInstance()
+	b, fromCache, err := c.do(opts.key(name, source), func() (*Build, error) {
+		return compile(ctx, name, source, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if fromCache {
+		// The copy is caller-private: stamp the caller's Options on it
+		// so Exec runs under the caller's Runtime config, not the
+		// original compiler's.
+		cp := *b
+		cp.CacheHit = true
+		cp.Options = opts
+		return &cp, nil
+	}
+	return b, nil
+}
+
+// compile is the uncached compile path: parse → typecheck → codegen →
+// inline → verify → analyze.
+func compile(ctx context.Context, name, source string, opts Options) (*Build, error) {
 	b := &Build{Name: name, Options: opts}
 
 	start := time.Now()
@@ -162,6 +187,9 @@ func Compile(name, source string, opts Options) (*Build, error) {
 		return nil, fmt.Errorf("pipeline %s: %w", name, err)
 	}
 	b.FrontendTime = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline %s: %w", name, err)
+	}
 
 	start = time.Now()
 	sp = obs.StartSpan("main", "pipeline", "inline")
@@ -184,7 +212,7 @@ func Compile(name, source string, opts Options) (*Build, error) {
 	if opts.Analysis.Mode != core.ModeNone {
 		start = time.Now()
 		sp = obs.StartSpan("main", "pipeline", "analyze")
-		rep, err := core.AnalyzeProgramParallel(b.Program, opts.Analysis, opts.workerCount())
+		rep, err := core.AnalyzeProgramCtx(ctx, b.Program, opts.Analysis, opts.workerCount())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline %s: %w", name, err)
 		}
@@ -193,9 +221,6 @@ func Compile(name, source string, opts Options) (*Build, error) {
 			obs.KV{K: "degraded", V: int64(len(rep.Degraded()))})
 		b.AnalysisTime = time.Since(start)
 		b.Report = rep
-	}
-	if opts.cacheable() {
-		c.put(key, b)
 	}
 	return b, nil
 }
@@ -249,4 +274,10 @@ func (b *Build) Run(cfg vm.Config) (*vm.Result, error) {
 // Exec executes the built program on the VM under Options.Runtime.
 func (b *Build) Exec() (*vm.Result, error) {
 	return vm.New(b.Program, b.Options.Runtime).Run()
+}
+
+// ExecContext executes the built program on the VM under Options.Runtime,
+// aborting at a scheduler-quantum boundary when ctx is cancelled.
+func (b *Build) ExecContext(ctx context.Context) (*vm.Result, error) {
+	return vm.New(b.Program, b.Options.Runtime).RunContext(ctx)
 }

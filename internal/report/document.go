@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"satbelim/internal/core"
 	"satbelim/internal/obs"
 	"satbelim/internal/pipeline"
 	"satbelim/internal/vm"
@@ -49,6 +50,12 @@ type Document struct {
 	Compile *CompileSummary `json:"compile,omitempty"`
 	// Campaign is one metamorphic campaign's outcome (satbtest).
 	Campaign *CampaignSummary `json:"campaign,omitempty"`
+
+	// Satbd is the daemon section (satbd): per-response request
+	// metadata, daemon service counters, and load-test results.
+	Satbd *Satbd `json:"satbd,omitempty"`
+	// Methods is per-method analysis detail (satbd /analyze).
+	Methods []MethodSummary `json:"methods,omitempty"`
 
 	// Metrics is the observability rollup (-metrics on any tool).
 	Metrics *obs.Metrics `json:"metrics,omitempty"`
@@ -174,6 +181,113 @@ func NewCompileSummary(b *pipeline.Build) *CompileSummary {
 		}
 	}
 	return c
+}
+
+// Satbd is the daemon section. Every satbd HTTP response carries a
+// Document with Request set; /healthz and /metrics carry Stats; the
+// load-test client emits Load. All three are additive to schema v1.
+type Satbd struct {
+	Request *SatbdRequest `json:"request,omitempty"`
+	Stats   *SatbdStats   `json:"stats,omitempty"`
+	Load    *SatbdLoad    `json:"load,omitempty"`
+}
+
+// SatbdRequest is the daemon's per-request envelope: identity, the
+// admission decision that shaped the request's budgets, and the outcome
+// class ("ok", "degraded", "shed", "timeout", "error", "panic"). A
+// degraded outcome is always flagged here and detailed in the sibling
+// Compile section — degradation is never silent.
+type SatbdRequest struct {
+	ID       string `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Outcome  string `json:"outcome"`
+	Error    string `json:"error,omitempty"`
+
+	// DeadlineMS is the effective per-request deadline after clamping.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Tier is the admission tier (0 = full budgets; each step halves
+	// the structural analysis budgets).
+	Tier           int   `json:"tier"`
+	MaxBlockVisits int   `json:"max_block_visits,omitempty"`
+	MaxStateSize   int   `json:"max_state_size,omitempty"`
+	MaxSteps       int64 `json:"max_steps,omitempty"`
+
+	QueueDepth  int   `json:"queue_depth"`
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	ElapsedNS   int64 `json:"elapsed_ns"`
+	// RetryAfterS mirrors the Retry-After header on shed responses.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+// SatbdStats is the daemon's service-level counter snapshot.
+type SatbdStats struct {
+	UptimeNS   int64 `json:"uptime_ns"`
+	Requests   int64 `json:"requests"`
+	OK         int64 `json:"ok"`
+	Degraded   int64 `json:"degraded"`
+	Shed       int64 `json:"shed"`
+	Timeouts   int64 `json:"timeouts"`
+	Errors     int64 `json:"errors"`
+	Panics     int64 `json:"panics"`
+	Inflight   int64 `json:"inflight"`
+	Queued     int64 `json:"queued"`
+	QueuedPeak int64 `json:"queued_peak"`
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+}
+
+// SatbdLoad is one load-test run's outcome (satbd -loadtest).
+type SatbdLoad struct {
+	Programs    int            `json:"programs"`
+	Concurrency int            `json:"concurrency"`
+	Seed        int64          `json:"seed"`
+	Sent        int            `json:"sent"`
+	ByOutcome   map[string]int `json:"by_outcome"`
+	ByStatus    map[string]int `json:"by_status"`
+	// OutputsVerified counts /run responses whose program output was
+	// re-executed locally and matched (the silently-wrong check).
+	OutputsVerified int `json:"outputs_verified"`
+	// Invalid lists schema or consistency violations (capped); a
+	// passing load run has none.
+	Invalid   []string `json:"invalid,omitempty"`
+	ElapsedNS int64    `json:"elapsed_ns"`
+}
+
+// MethodSummary is one method's analysis report in Document form.
+type MethodSummary struct {
+	Method      string `json:"method"`
+	FieldSites  int    `json:"field_sites"`
+	ArraySites  int    `json:"array_sites"`
+	FieldElided int    `json:"field_elided"`
+	ArrayElided int    `json:"array_elided"`
+	NullOrSame  int    `json:"null_or_same,omitempty"`
+	BlockVisits int    `json:"block_visits"`
+	Degraded    string `json:"degraded,omitempty"`
+}
+
+// NewMethodSummaries converts a program report into per-method Document
+// rows, in program order.
+func NewMethodSummaries(rep *core.ProgramReport) []MethodSummary {
+	if rep == nil {
+		return nil
+	}
+	out := make([]MethodSummary, 0, len(rep.Methods))
+	for _, m := range rep.Methods {
+		ms := MethodSummary{
+			Method:      m.Method.QualifiedName(),
+			FieldSites:  m.FieldSites,
+			ArraySites:  m.ArraySites,
+			FieldElided: m.FieldElided,
+			ArrayElided: m.ArrayElided,
+			NullOrSame:  m.NullOrSame,
+			BlockVisits: m.BlockVisits,
+		}
+		if m.Degraded != core.DegradeNone {
+			ms.Degraded = string(m.Degraded)
+		}
+		out = append(out, ms)
+	}
+	return out
 }
 
 // FormatObsSummary renders the observability metrics as the human-

@@ -66,7 +66,36 @@ func sampleDocument() *Document {
 			{Cat: "vm", Name: "run", Count: 1, TotalNS: 9000000, MaxNS: 9000000},
 		},
 	}
-	doc.BuildCache = &pipeline.CacheStats{Hits: 1, Misses: 2, Entries: 2}
+	doc.BuildCache = &pipeline.CacheStats{
+		Hits: 1, Misses: 2, Entries: 2,
+		Evictions: 1, Coalesced: 3, FaultDrops: 1,
+	}
+	doc.Satbd = &Satbd{
+		Request: &SatbdRequest{
+			ID: "r000007", Endpoint: "run", Outcome: "degraded",
+			DeadlineMS: 2000, Tier: 1,
+			MaxBlockVisits: 100000, MaxStateSize: 524288, MaxSteps: 10000000,
+			QueueDepth: 3, QueueWaitNS: 150000, ElapsedNS: 4200000,
+		},
+		Stats: &SatbdStats{
+			UptimeNS: 60000000000, Requests: 1000, OK: 900, Degraded: 40,
+			Shed: 30, Timeouts: 20, Errors: 8, Panics: 2,
+			Inflight: 4, Queued: 2, QueuedPeak: 12,
+			Workers: 4, QueueDepth: 16,
+		},
+		Load: &SatbdLoad{
+			Programs: 200, Concurrency: 8, Seed: 7, Sent: 200,
+			ByOutcome:       map[string]int{"degraded": 12, "ok": 180, "shed": 8},
+			ByStatus:        map[string]int{"200": 192, "429": 8},
+			OutputsVerified: 60,
+			ElapsedNS:       9000000000,
+		},
+	}
+	doc.Methods = []MethodSummary{
+		{Method: "A.main", FieldSites: 20, ArraySites: 10, FieldElided: 12,
+			ArrayElided: 4, NullOrSame: 2, BlockVisits: 64},
+		{Method: "A.slow", FieldSites: 3, BlockVisits: 128, Degraded: "deadline"},
+	}
 	return doc
 }
 

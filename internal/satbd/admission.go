@@ -1,0 +1,68 @@
+package satbd
+
+import "time"
+
+// Admission control maps a request's wall-clock budget and the current
+// queue pressure onto the analysis and VM budgets it is granted. Two
+// rules shape the design:
+//
+//  1. Budgets are TIERED, not continuous. core.Options is part of the
+//     build-cache key, so per-request budget values would fragment the
+//     key space and defeat both the LRU and singleflight. Each tier
+//     halves the structural budgets (visits, state size, VM steps);
+//     requests in one tier share cache entries and coalesce.
+//
+//  2. Wall-clock bounding never enters core.Options. The request
+//     context carries the deadline; the analysis observes it at
+//     block-visit boundaries and the VM at quantum boundaries. A
+//     deadline-degraded result is private to its request (the cache
+//     refuses to store or share it), so tiering stays deterministic.
+
+// maxTier bounds budget halving: 1/16 of the base budgets.
+const maxTier = 4
+
+type budgets struct {
+	blockVisits int
+	stateSize   int
+	steps       int64
+}
+
+// admissionTier picks the budget tier for one admitted request.
+// Tier 0 is full budgets. A short client deadline (relative to the
+// server default) or a deep queue (waiters per worker) each push the
+// tier up — an overloaded daemon does cheaper, more conservative work
+// instead of missing every deadline at full effort.
+func admissionTier(deadline, defaultDeadline time.Duration, waiting, workers int) int {
+	tier := 0
+	for d := deadline; d < defaultDeadline && tier < maxTier; d *= 2 {
+		tier++
+	}
+	if workers > 0 {
+		for per := waiting / workers; per > 0 && tier < maxTier; per /= 2 {
+			tier++
+		}
+	}
+	if tier > maxTier {
+		tier = maxTier
+	}
+	return tier
+}
+
+// budgets quantizes the configured tier-0 budgets down to a tier.
+func (s *Server) budgets(tier int) budgets {
+	b := budgets{
+		blockVisits: s.cfg.MaxBlockVisits >> tier,
+		stateSize:   s.cfg.MaxStateSize >> tier,
+		steps:       s.cfg.MaxSteps >> tier,
+	}
+	if b.blockVisits < 1 {
+		b.blockVisits = 1
+	}
+	if b.stateSize < 1 {
+		b.stateSize = 1
+	}
+	if b.steps < 1 {
+		b.steps = 1
+	}
+	return b
+}

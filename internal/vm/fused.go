@@ -101,6 +101,9 @@ func (v *VM) runFused() (*Result, error) {
 			if t.done {
 				continue
 			}
+			if err := v.cancelled(); err != nil {
+				return nil, err
+			}
 			if err := v.runFusedQuantum(t); err != nil {
 				return nil, err
 			}

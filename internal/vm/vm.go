@@ -6,6 +6,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 
 	"satbelim/internal/bytecode"
@@ -194,6 +195,12 @@ type VM struct {
 	// synchronized: the VM runs on one goroutine.
 	fusedExecs int64
 	cycleSpan  obs.Span
+
+	// ctx/cancel carry RunContext's cancellation; cancel is nil for the
+	// plain Run path, so the scheduler loop pays one nil check per
+	// quantum and nothing more.
+	ctx    context.Context
+	cancel <-chan struct{}
 }
 
 // New prepares a VM for the program.
@@ -254,6 +261,21 @@ func (v *VM) logger() satb.Logger {
 		return v.marker
 	}
 	return &v.noplog
+}
+
+// RunContext executes main to completion (all threads), aborting with an
+// error when ctx is cancelled or its deadline passes. Cancellation is
+// observed at scheduler-quantum boundaries — the same points where the
+// collector steps and threads rotate — so the abort latency is bounded by
+// one quantum (default 64 instructions) per live thread and the hot
+// per-instruction loops stay untouched. Both engines check at identical
+// points and return identical error text, preserving engine parity.
+func (v *VM) RunContext(ctx context.Context) (*Result, error) {
+	if ctx != nil && ctx.Done() != nil {
+		v.ctx = ctx
+		v.cancel = ctx.Done()
+	}
+	return v.Run()
 }
 
 // Run executes main to completion (all threads).
@@ -360,6 +382,9 @@ func (v *VM) runSwitch() (*Result, error) {
 		for _, t := range v.threads {
 			if t.done {
 				continue
+			}
+			if err := v.cancelled(); err != nil {
+				return nil, err
 			}
 			if err := v.runQuantum(t); err != nil {
 				return nil, err
@@ -469,6 +494,21 @@ func (v *VM) finishCycle() {
 		obs.Count("gc.marked", int64(cs.Marked))
 		obs.Count("gc.log_entries", int64(cs.LogEntries))
 		obs.Count("gc.final_pause_work", int64(cs.FinalPauseWork))
+	}
+}
+
+// cancelled polls the RunContext cancellation channel. Nil-check only on
+// the plain Run path; a non-blocking select per scheduler quantum when a
+// cancellable context was supplied.
+func (v *VM) cancelled() error {
+	if v.cancel == nil {
+		return nil
+	}
+	select {
+	case <-v.cancel:
+		return fmt.Errorf("vm: run cancelled: %w", v.ctx.Err())
+	default:
+		return nil
 	}
 }
 
