@@ -52,7 +52,7 @@ func main() {
 	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
 	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
 	perf := flag.Bool("perf", false, "compile-side performance snapshot (stage times, block visits)")
-	vmperf := flag.Bool("vmperf", false, "VM execution-engine performance (fused vs switch: instr/s, ns/instr, allocs/op)")
+	vmperf := flag.Bool("vmperf", false, "VM execution-engine performance (compiled vs fused vs switch: instr/s, ns/instr, allocs/op, tier counters)")
 	oracle := flag.Bool("oracle", false, "soundness oracle: validate every elided store at runtime")
 	inlineLimit := flag.Int("inline", report.DefaultInlineLimit, "inline limit for Table 1/2, Figure 3, perf, oracle")
 	workers := flag.Int("workers", 0, "per-method analysis fan-out (0 = GOMAXPROCS)")
@@ -153,6 +153,7 @@ func main() {
 		}
 		out.VMPerf = rows
 		out.VMPerfGeomeanSpeedup = report.VMPerfGeomeanSpeedup(rows)
+		out.VMPerfGeomeanCompiledOverFused = report.VMPerfGeomeanCompiledOverFused(rows)
 		fmt.Println(report.FormatVMPerf(rows))
 	}
 	var oracleFailed bool

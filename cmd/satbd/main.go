@@ -177,6 +177,15 @@ func runLoadtest(cfg satbd.Config, lc satbd.LoadConfig, inj *faultinject.Injecto
 	}
 	sort.Strings(outcomes)
 	for _, k := range outcomes {
+		if lat, ok := load.Latency[k]; ok {
+			fmt.Printf("  %-10s %6d   p50 %-9v p95 %-9v p99 %-9v max %v\n",
+				k, load.ByOutcome[k],
+				time.Duration(lat.P50NS).Round(time.Microsecond),
+				time.Duration(lat.P95NS).Round(time.Microsecond),
+				time.Duration(lat.P99NS).Round(time.Microsecond),
+				time.Duration(lat.MaxNS).Round(time.Microsecond))
+			continue
+		}
 		fmt.Printf("  %-10s %6d\n", k, load.ByOutcome[k])
 	}
 	if load.OutputsVerified > 0 {

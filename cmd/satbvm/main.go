@@ -42,7 +42,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-method analysis wall-clock budget (0 = unlimited)")
 	sites := flag.Bool("sites", false, "print per-site statistics")
 	workload := flag.String("workload", "", "run a built-in workload instead of a file")
-	engine := flag.String("engine", "fused", "execution engine: fused (pre-decoded) or switch (reference interpreter)")
+	engine := flag.String("engine", "fused", "execution engine: fused (pre-decoded), switch (reference interpreter), or compiled (tiered closure-threaded)")
+	tierThreshold := flag.Int64("tier-threshold", 0, "compiled engine: hot-method exec count before tier-up (0 = default 64)")
 	noCache := flag.Bool("nocache", false, "bypass the content-addressed build cache")
 	verbose := flag.Bool("v", false, "print engine and build-cache details")
 	jsonPath := flag.String("json", "", "write the run summary as versioned JSON to this file")
@@ -100,6 +101,7 @@ func main() {
 			CheckInvariant:     *check,
 			CheckElisions:      *oracle,
 			Engine:             eng,
+			TierThreshold:      *tierThreshold,
 		},
 		NoCache: *noCache,
 	})
@@ -118,6 +120,10 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("engine: %s\n", res.Engine)
+		if res.TierUps > 0 || res.TierDeopts > 0 {
+			fmt.Printf("tier: %d methods compiled, %d deopts, %d segment executions\n",
+				res.TierUps, res.TierDeopts, res.TierSegExecs)
+		}
 		cs := pipeline.DefaultCache.Stats()
 		fmt.Printf("build cache: hit=%v (%d hits / %d misses, %d entries)\n",
 			b.CacheHit, cs.Hits, cs.Misses, cs.Entries)

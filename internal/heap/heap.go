@@ -112,16 +112,6 @@ func (l *Layout) FieldIndex(ref bytecode.FieldRef) (int, error) {
 // Statics lists the declared static reference roots.
 func (l *Layout) Statics() []bytecode.FieldRef { return l.statics }
 
-// declaredStatic reports whether ref is a declared static field.
-func (l *Layout) declaredStatic(ref bytecode.FieldRef) bool {
-	for _, d := range l.statics {
-		if d == ref {
-			return true
-		}
-	}
-	return false
-}
-
 // NumFields returns the instance-field count of a class, reporting whether
 // the class is known. The pre-decoded VM engine resolves it once per
 // allocation site instead of per allocation.
@@ -130,11 +120,18 @@ func (l *Layout) NumFields(class string) (int, bool) {
 	return n, ok
 }
 
-// Heap is the object store.
+// Heap is the object store. Declared statics live in a dense slice in
+// declaration order (staticSlots): the slice is sized once at
+// construction and never reallocates, so a slot's address is stable for
+// the heap's lifetime and StaticSlot can hand out direct pointers for
+// translation-time resolution. Statics written outside the declared
+// layout (possible only for unverified programs) overflow into a map.
 type Heap struct {
-	layout  *Layout
-	objects []*Object
-	statics map[bytecode.FieldRef]Value
+	layout      *Layout
+	objects     []*Object
+	staticSlots []Value
+	staticIdx   map[bytecode.FieldRef]int
+	staticExtra map[bytecode.FieldRef]Value
 
 	// Allocated counts allocations over the heap's lifetime.
 	Allocated int64
@@ -145,7 +142,15 @@ type Heap struct {
 
 // New creates an empty heap over the program's layout.
 func New(layout *Layout) *Heap {
-	return &Heap{layout: layout, statics: map[bytecode.FieldRef]Value{}}
+	idx := make(map[bytecode.FieldRef]int, len(layout.statics))
+	for i, ref := range layout.statics {
+		idx[ref] = i
+	}
+	return &Heap{
+		layout:      layout,
+		staticSlots: make([]Value, len(layout.statics)),
+		staticIdx:   idx,
+	}
 }
 
 // Layout exposes the field layout.
@@ -282,14 +287,36 @@ func (h *Heap) ArrayLen(r Ref) (int64, error) {
 
 // GetStatic reads a static field (zero value when never written).
 func (h *Heap) GetStatic(ref bytecode.FieldRef) Value {
-	return h.statics[ref]
+	if i, ok := h.staticIdx[ref]; ok {
+		return h.staticSlots[i]
+	}
+	return h.staticExtra[ref]
 }
 
 // SetStatic writes a static field, returning the pre-value.
 func (h *Heap) SetStatic(ref bytecode.FieldRef, v Value) Value {
-	old := h.statics[ref]
-	h.statics[ref] = v
+	if i, ok := h.staticIdx[ref]; ok {
+		old := h.staticSlots[i]
+		h.staticSlots[i] = v
+		return old
+	}
+	if h.staticExtra == nil {
+		h.staticExtra = map[bytecode.FieldRef]Value{}
+	}
+	old := h.staticExtra[ref]
+	h.staticExtra[ref] = v
 	return old
+}
+
+// StaticSlot returns a stable pointer to a declared static's storage, or
+// nil for refs outside the declared layout. The compiled VM tier resolves
+// statics to slots once at method translation; reads and writes through
+// the pointer are equivalent to GetStatic/SetStatic.
+func (h *Heap) StaticSlot(ref bytecode.FieldRef) *Value {
+	if i, ok := h.staticIdx[ref]; ok {
+		return &h.staticSlots[i]
+	}
+	return nil
 }
 
 // StaticRoots returns the current reference values of all statics, in
@@ -299,21 +326,17 @@ func (h *Heap) SetStatic(ref bytecode.FieldRef, v Value) Value {
 // make barrier logging counts unreproducible.
 func (h *Heap) StaticRoots() []Ref {
 	var roots []Ref
-	declared := 0
-	for _, ref := range h.layout.statics {
-		if v, ok := h.statics[ref]; ok {
-			declared++
-			if v.IsRef && v.R != Null {
-				roots = append(roots, v.R)
-			}
+	for _, v := range h.staticSlots {
+		if v.IsRef && v.R != Null {
+			roots = append(roots, v.R)
 		}
 	}
-	if declared < len(h.statics) {
+	if len(h.staticExtra) > 0 {
 		// Statics written outside the declared layout (possible only for
 		// unverified programs): include them in a stable order too.
 		var extras []bytecode.FieldRef
-		for ref, v := range h.statics {
-			if v.IsRef && v.R != Null && !h.layout.declaredStatic(ref) {
+		for ref, v := range h.staticExtra {
+			if v.IsRef && v.R != Null {
 				extras = append(extras, ref)
 			}
 		}
@@ -324,7 +347,7 @@ func (h *Heap) StaticRoots() []Ref {
 			return extras[i].Name < extras[j].Name
 		})
 		for _, ref := range extras {
-			roots = append(roots, h.statics[ref].R)
+			roots = append(roots, h.staticExtra[ref].R)
 		}
 	}
 	return roots

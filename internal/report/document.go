@@ -43,6 +43,9 @@ type Document struct {
 	// VMPerfGeomeanSpeedup is the geometric-mean fused-over-switch VM
 	// speedup across workloads (present with the vmperf section).
 	VMPerfGeomeanSpeedup float64 `json:"vmperf_geomean_speedup,omitempty"`
+	// VMPerfGeomeanCompiledOverFused is the geometric-mean compiled-tier
+	// speedup over the fused engine (present with the vmperf section).
+	VMPerfGeomeanCompiledOverFused float64 `json:"vmperf_geomean_compiled_over_fused,omitempty"`
 
 	// Run is one VM execution's summary (satbvm).
 	Run *RunSummary `json:"run,omitempty"`
@@ -88,6 +91,10 @@ type RunSummary struct {
 	Allocated      int64   `json:"allocated"`
 	Swept          int     `json:"swept"`
 	ElisionChecks  int64   `json:"elision_checks,omitempty"`
+	// Tier counters (compiled engine only; additive to schema v1).
+	TierUps      int   `json:"tier_ups,omitempty"`
+	TierDeopts   int64 `json:"tier_deopts,omitempty"`
+	TierSegExecs int64 `json:"tier_seg_execs,omitempty"`
 }
 
 // NewRunSummary converts a VM result into its Document form.
@@ -111,6 +118,9 @@ func NewRunSummary(workload string, res *vm.Result) *RunSummary {
 		Allocated:      res.Allocated,
 		Swept:          res.Swept,
 		ElisionChecks:  res.ElisionChecks,
+		TierUps:        res.TierUps,
+		TierDeopts:     res.TierDeopts,
+		TierSegExecs:   res.TierSegExecs,
 	}
 }
 
@@ -234,6 +244,11 @@ type SatbdStats struct {
 	QueuedPeak int64 `json:"queued_peak"`
 	Workers    int   `json:"workers"`
 	QueueDepth int   `json:"queue_depth"`
+	// Compiled-tier counters accumulated across /run requests that
+	// executed on the compiled engine (additive to schema v1).
+	TierUps      int64 `json:"tier_ups,omitempty"`
+	TierDeopts   int64 `json:"tier_deopts,omitempty"`
+	TierSegExecs int64 `json:"tier_seg_execs,omitempty"`
 }
 
 // SatbdLoad is one load-test run's outcome (satbd -loadtest).
@@ -247,10 +262,23 @@ type SatbdLoad struct {
 	// OutputsVerified counts /run responses whose program output was
 	// re-executed locally and matched (the silently-wrong check).
 	OutputsVerified int `json:"outputs_verified"`
+	// Latency is the wall-clock latency distribution per outcome class
+	// ("ok", "shed", ...; additive to schema v1).
+	Latency map[string]SatbdLatency `json:"latency,omitempty"`
 	// Invalid lists schema or consistency violations (capped); a
 	// passing load run has none.
 	Invalid   []string `json:"invalid,omitempty"`
 	ElapsedNS int64    `json:"elapsed_ns"`
+}
+
+// SatbdLatency is one outcome class's request-latency distribution from
+// a load run (nanoseconds; percentiles by nearest-rank).
+type SatbdLatency struct {
+	Count int   `json:"count"`
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
 }
 
 // MethodSummary is one method's analysis report in Document form.

@@ -10,36 +10,50 @@ func TestVMPerfShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 { // 6 workloads × 2 engines
-		t.Fatalf("rows = %d, want 12", len(rows))
+	if len(rows) != 18 { // 6 workloads × 3 engines
+		t.Fatalf("rows = %d, want 18", len(rows))
 	}
-	for i := 0; i < len(rows); i += 2 {
-		fused, sw := rows[i], rows[i+1]
-		if fused.Engine != "fused" || sw.Engine != "switch" {
-			t.Fatalf("row pair %d: engines %q/%q", i, fused.Engine, sw.Engine)
+	for i := 0; i < len(rows); i += 3 {
+		comp, fused, sw := rows[i], rows[i+1], rows[i+2]
+		if comp.Engine != "compiled" || fused.Engine != "fused" || sw.Engine != "switch" {
+			t.Fatalf("row trio %d: engines %q/%q/%q", i, comp.Engine, fused.Engine, sw.Engine)
 		}
-		if fused.Workload != sw.Workload {
-			t.Fatalf("row pair %d: workload mismatch %q vs %q", i, fused.Workload, sw.Workload)
+		if comp.Workload != fused.Workload || fused.Workload != sw.Workload {
+			t.Fatalf("row trio %d: workload mismatch %q/%q/%q", i, comp.Workload, fused.Workload, sw.Workload)
 		}
-		// Both engines execute the identical instruction stream.
-		if fused.Steps != sw.Steps {
-			t.Errorf("%s: steps diverge: fused %d vs switch %d", fused.Workload, fused.Steps, sw.Steps)
+		// All engines execute the identical instruction stream.
+		if comp.Steps != sw.Steps || fused.Steps != sw.Steps {
+			t.Errorf("%s: steps diverge: compiled %d fused %d switch %d",
+				sw.Workload, comp.Steps, fused.Steps, sw.Steps)
 		}
-		if fused.Steps <= 0 || fused.WallNs <= 0 || sw.WallNs <= 0 {
-			t.Errorf("%s: non-positive steps/wall time", fused.Workload)
+		if sw.Steps <= 0 || comp.WallNs <= 0 || fused.WallNs <= 0 || sw.WallNs <= 0 {
+			t.Errorf("%s: non-positive steps/wall time", sw.Workload)
 		}
-		if fused.Speedup <= 0 {
-			t.Errorf("%s: fused row missing speedup", fused.Workload)
+		if comp.Speedup <= 0 || fused.Speedup <= 0 {
+			t.Errorf("%s: compiled/fused rows missing speedup", sw.Workload)
 		}
 		if sw.Speedup != 0 {
 			t.Errorf("%s: switch row must not carry a speedup", sw.Workload)
+		}
+		if comp.CompiledOverFused <= 0 {
+			t.Errorf("%s: compiled row missing compiled-over-fused ratio", sw.Workload)
+		}
+		if comp.TierUps <= 0 || comp.TierSegExecs <= 0 {
+			t.Errorf("%s: compiled row missing tier counters (ups=%d segs=%d)",
+				sw.Workload, comp.TierUps, comp.TierSegExecs)
+		}
+		if fused.TierUps != 0 || sw.TierUps != 0 {
+			t.Errorf("%s: non-compiled rows must not carry tier counters", sw.Workload)
 		}
 	}
 	if g := VMPerfGeomeanSpeedup(rows); g <= 0 {
 		t.Errorf("geomean = %v, want > 0", g)
 	}
+	if g := VMPerfGeomeanCompiledOverFused(rows); g <= 0 {
+		t.Errorf("compiled-over-fused geomean = %v, want > 0", g)
+	}
 	out := FormatVMPerf(rows)
-	for _, want := range []string{"jess", "jbb", "fused", "switch", "geomean"} {
+	for _, want := range []string{"jess", "jbb", "compiled", "fused", "switch", "geomean", "vs fused"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted output missing %q", want)
 		}
@@ -52,5 +66,8 @@ func TestVMPerfGeomeanEmpty(t *testing.T) {
 	}
 	if g := VMPerfGeomeanSpeedup([]VMPerfRow{{Engine: "switch"}}); g != 0 {
 		t.Errorf("geomean with no fused rows = %v, want 0", g)
+	}
+	if g := VMPerfGeomeanCompiledOverFused([]VMPerfRow{{Engine: "fused", Speedup: 2}}); g != 0 {
+		t.Errorf("compiled-over-fused geomean with no compiled rows = %v, want 0", g)
 	}
 }

@@ -87,6 +87,12 @@ func TestChaosLoad(t *testing.T) {
 	if load.OutputsVerified == 0 {
 		t.Error("no outputs were verified; the silently-wrong check did not run")
 	}
+	if lat, found := load.Latency[OutcomeOK]; !found {
+		t.Error("load report has no latency summary for the ok class")
+	} else if lat.Count != load.ByOutcome[OutcomeOK] ||
+		lat.P50NS <= 0 || lat.P95NS < lat.P50NS || lat.P99NS < lat.P95NS || lat.MaxNS < lat.P99NS {
+		t.Errorf("ok latency summary malformed: %+v", lat)
+	}
 	if inj.TotalFired() == 0 {
 		t.Error("no fault fired; the chaos run exercised nothing")
 	}

@@ -248,6 +248,9 @@ func (s *Server) process(ctx context.Context, slot int, name string, req *Reques
 			s.errs.Add(1)
 			return http.StatusBadRequest, OutcomeError, err
 		}
+		s.tierUps.Add(int64(res.TierUps))
+		s.tierDeopts.Add(res.TierDeopts)
+		s.tierSegExecs.Add(res.TierSegExecs)
 		doc.Run = report.NewRunSummary(req.Name, res)
 	}
 	return http.StatusOK, outcome, nil

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"reflect"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -84,13 +86,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*report.SatbdLoad, error) {
 		mu       sync.Mutex
 		sent     atomic.Int64
 		verified atomic.Int64
+		samples  = map[string][]time.Duration{}
 		local    = pipeline.NewCache(0) // baseline builds for output verification
 	)
-	record := func(outcome, status string, problems []string) {
+	record := func(outcome, status string, d time.Duration, problems []string) {
 		mu.Lock()
 		defer mu.Unlock()
 		out.ByOutcome[outcome]++
 		out.ByStatus[status]++
+		samples[outcome] = append(samples[outcome], d)
 		for _, p := range problems {
 			if len(out.Invalid) < maxInvalidRecorded {
 				out.Invalid = append(out.Invalid, p)
@@ -110,12 +114,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*report.SatbdLoad, error) {
 				src := progen.Generate(seed, cfg.Gen)
 				endpoint := endpoints[i%len(endpoints)]
 				name := fmt.Sprintf("load%d", seed)
+				r0 := time.Now()
 				outcome, status, problems := doRequest(ctx, client, cfg, local, endpoint, name, src)
+				d := time.Since(r0)
 				sent.Add(1)
 				if outcome == OutcomeOK && endpoint == "run" && cfg.VerifyOutputs && len(problems) == 0 {
 					verified.Add(1)
 				}
-				record(outcome, status, problems)
+				record(outcome, status, d, problems)
 			}
 		}()
 	}
@@ -132,6 +138,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*report.SatbdLoad, error) {
 	out.Sent = int(sent.Load())
 	out.OutputsVerified = int(verified.Load())
 	out.ElapsedNS = time.Since(t0).Nanoseconds()
+	out.Latency = latencyStats(samples)
 
 	// The daemon must still be healthy after the storm.
 	if problems := checkHealthz(ctx, client, cfg.BaseURL); len(problems) > 0 {
@@ -140,6 +147,38 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*report.SatbdLoad, error) {
 		mu.Unlock()
 	}
 	return out, ctx.Err()
+}
+
+// latencyStats condenses per-outcome wall-clock samples into
+// nearest-rank percentile summaries. Latency includes client-side
+// serialization and transport, which is what a caller of the daemon
+// actually experiences.
+func latencyStats(samples map[string][]time.Duration) map[string]report.SatbdLatency {
+	var out map[string]report.SatbdLatency
+	for outcome, ds := range samples {
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		rank := func(p float64) int64 {
+			i := int(math.Ceil(p*float64(len(ds)))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return ds[i].Nanoseconds()
+		}
+		if out == nil {
+			out = map[string]report.SatbdLatency{}
+		}
+		out[outcome] = report.SatbdLatency{
+			Count: len(ds),
+			P50NS: rank(0.50),
+			P95NS: rank(0.95),
+			P99NS: rank(0.99),
+			MaxNS: ds[len(ds)-1].Nanoseconds(),
+		}
+	}
+	return out
 }
 
 // doRequest sends one request and validates the response. The returned

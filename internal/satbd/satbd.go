@@ -119,6 +119,10 @@ type Server struct {
 	timeouts atomic.Int64
 	errs     atomic.Int64
 	panics   atomic.Int64
+
+	tierUps      atomic.Int64
+	tierDeopts   atomic.Int64
+	tierSegExecs atomic.Int64
 }
 
 // New builds a Server from cfg (zero-value fields take defaults).
@@ -170,6 +174,10 @@ func (s *Server) Stats() report.SatbdStats {
 		QueuedPeak: s.queuedPeak.Load(),
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
+
+		TierUps:      s.tierUps.Load(),
+		TierDeopts:   s.tierDeopts.Load(),
+		TierSegExecs: s.tierSegExecs.Load(),
 	}
 }
 
@@ -201,4 +209,3 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	doc.Satbd = &report.Satbd{Stats: &st}
 	writeDoc(w, http.StatusOK, doc)
 }
-

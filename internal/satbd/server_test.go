@@ -130,6 +130,84 @@ func TestCompileRunAnalyzeHappyPath(t *testing.T) {
 	}
 }
 
+// hotSrc loops far past the default tier-up threshold, so a
+// compiled-engine run tiers main up deterministically.
+const hotSrc = `
+class A {
+    static void main() {
+        int s = 0;
+        for (int i = 0; i < 5000; i = i + 1) { s = s + i; }
+        print(s);
+    }
+}
+`
+
+func TestCompiledTierStatsInMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	status, _, doc := post(t, ts, "run", Request{Name: "hot", Source: hotSrc, Engine: "compiled"})
+	if status != 200 || doc.Run == nil {
+		t.Fatalf("run: status %d outcome %q", status, doc.Satbd.Request.Outcome)
+	}
+	if doc.Run.TierUps <= 0 || doc.Run.TierSegExecs <= 0 {
+		t.Errorf("run summary tier counters = ups %d / segs %d, want both > 0",
+			doc.Run.TierUps, doc.Run.TierSegExecs)
+	}
+	st := s.Stats()
+	if st.TierUps <= 0 || st.TierSegExecs <= 0 {
+		t.Errorf("daemon tier stats = ups %d / segs %d, want both > 0", st.TierUps, st.TierSegExecs)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mdoc report.Document
+	if err := json.NewDecoder(resp.Body).Decode(&mdoc); err != nil {
+		t.Fatal(err)
+	}
+	if mdoc.Satbd == nil || mdoc.Satbd.Stats == nil {
+		t.Fatal("metrics response has no stats section")
+	}
+	if got := mdoc.Satbd.Stats; got.TierUps != st.TierUps || got.TierSegExecs != st.TierSegExecs {
+		t.Errorf("/metrics tier stats = %d/%d, want %d/%d",
+			got.TierUps, got.TierSegExecs, st.TierUps, st.TierSegExecs)
+	}
+
+	// A switch-engine run must not move the tier counters.
+	post(t, ts, "run", Request{Name: "hot", Source: hotSrc, Engine: "switch"})
+	if after := s.Stats(); after.TierUps != st.TierUps || after.TierSegExecs != st.TierSegExecs {
+		t.Errorf("switch run moved tier counters: %d/%d -> %d/%d",
+			st.TierUps, st.TierSegExecs, after.TierUps, after.TierSegExecs)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	got := latencyStats(map[string][]time.Duration{
+		"ok":    {ms(5), ms(1), ms(3), ms(2), ms(4)},
+		"empty": {},
+	})
+	lat, found := got["ok"]
+	if !found || len(got) != 1 {
+		t.Fatalf("latencyStats = %+v, want exactly one class %q", got, "ok")
+	}
+	want := report.SatbdLatency{
+		Count: 5,
+		P50NS: ms(3).Nanoseconds(),
+		P95NS: ms(5).Nanoseconds(),
+		P99NS: ms(5).Nanoseconds(),
+		MaxNS: ms(5).Nanoseconds(),
+	}
+	if lat != want {
+		t.Errorf("latencyStats[ok] = %+v, want %+v", lat, want)
+	}
+	if latencyStats(nil) != nil {
+		t.Error("latencyStats(nil) must be nil so the JSON field stays omitted")
+	}
+}
+
 func TestBadRequestsNeverCrash(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
 

@@ -181,6 +181,15 @@ type dmethod struct {
 	// observability layer (plain counter: the VM is single-goroutine).
 	pool     []*fframe
 	recycled int64
+
+	// Compiled-tier state (EngineCompiled only; all three are inert on
+	// the other engines). hotness counts method entries plus loop
+	// back-edges observed on fused dispatch; tier is the closure-threaded
+	// translation installed at tier-up; tierFailed bars a method whose
+	// translation was rejected from being retried every quantum.
+	hotness    int64
+	tier       *cmethod
+	tierFailed bool
 }
 
 // maxFramePool bounds the per-method free list (deep recursion spikes

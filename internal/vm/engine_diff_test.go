@@ -1,12 +1,15 @@
 package vm_test
 
-// Differential harness for the two execution engines: every workload runs
-// under both the pre-decoded fused engine and the reference switch
-// interpreter across the barrier modes and analysis configurations of the
-// paper's evaluation, with and without the runtime elision oracle, and
-// the Results must be bit-identical — output, step counts, GC cycles,
-// allocation/sweep totals, oracle check counts, and the full per-site
-// barrier counters.
+// Differential harness for the three execution engines: every workload
+// runs under the pre-decoded fused engine, the reference switch
+// interpreter, and the compiled hot-method tier across the barrier modes
+// and analysis configurations of the paper's evaluation, with and without
+// the runtime elision oracle, and the Results must be bit-identical —
+// output, step counts, GC cycles, allocation/sweep totals, oracle check
+// counts, and the full per-site barrier counters. The compiled tier runs
+// with an aggressive threshold so every workload actually tiers up, and
+// a forced-deopt sweep proves that abandoning compiled code mid-run
+// changes nothing observable.
 
 import (
 	"reflect"
@@ -54,10 +57,17 @@ func diffConfigs() []diffConfig {
 	}
 }
 
+// diffTierThreshold tiers every method up almost immediately so the
+// compiled tier, not its fused fallback, is what the sweep exercises.
+const diffTierThreshold = 2
+
 // runEngine executes one build on one engine.
 func runEngine(t *testing.T, bd *pipeline.Build, cfg vm.Config, eng vm.Engine) *vm.Result {
 	t.Helper()
 	cfg.Engine = eng
+	if eng == vm.EngineCompiled && cfg.TierThreshold == 0 {
+		cfg.TierThreshold = diffTierThreshold
+	}
 	res, err := bd.Run(cfg)
 	if err != nil {
 		t.Fatalf("engine %v: %v", eng, err)
@@ -65,50 +75,54 @@ func runEngine(t *testing.T, bd *pipeline.Build, cfg vm.Config, eng vm.Engine) *
 	return res
 }
 
-// assertIdentical compares every semantic field of two Results (Engine is
-// the one intentionally differing, informational field).
-func assertIdentical(t *testing.T, fused, sw *vm.Result) {
+// assertIdentical compares every semantic field of two Results (Engine
+// and the tier counters are the intentionally differing, informational
+// fields).
+func assertIdentical(t *testing.T, a, b *vm.Result, an, bn string) {
 	t.Helper()
-	if fused.Engine != "fused" || sw.Engine != "switch" {
-		t.Fatalf("engine labels: fused=%q switch=%q", fused.Engine, sw.Engine)
+	if a.Engine != an || b.Engine != bn {
+		t.Fatalf("engine labels: got %q/%q, want %q/%q", a.Engine, b.Engine, an, bn)
 	}
-	if !reflect.DeepEqual(fused.Output, sw.Output) {
-		t.Errorf("Output differs: fused %d values, switch %d values", len(fused.Output), len(sw.Output))
+	if !reflect.DeepEqual(a.Output, b.Output) {
+		t.Errorf("Output differs: %s %d values, %s %d values", an, len(a.Output), bn, len(b.Output))
 	}
-	if fused.Steps != sw.Steps {
-		t.Errorf("Steps: fused %d, switch %d", fused.Steps, sw.Steps)
+	if a.Steps != b.Steps {
+		t.Errorf("Steps: %s %d, %s %d", an, a.Steps, bn, b.Steps)
 	}
-	if fused.Cycles != sw.Cycles {
-		t.Errorf("Cycles: fused %d, switch %d", fused.Cycles, sw.Cycles)
+	if a.Cycles != b.Cycles {
+		t.Errorf("Cycles: %s %d, %s %d", an, a.Cycles, bn, b.Cycles)
 	}
-	if fused.FinalPauseWork != sw.FinalPauseWork {
-		t.Errorf("FinalPauseWork: fused %d, switch %d", fused.FinalPauseWork, sw.FinalPauseWork)
+	if a.FinalPauseWork != b.FinalPauseWork {
+		t.Errorf("FinalPauseWork: %s %d, %s %d", an, a.FinalPauseWork, bn, b.FinalPauseWork)
 	}
-	if fused.Allocated != sw.Allocated {
-		t.Errorf("Allocated: fused %d, switch %d", fused.Allocated, sw.Allocated)
+	if a.Allocated != b.Allocated {
+		t.Errorf("Allocated: %s %d, %s %d", an, a.Allocated, bn, b.Allocated)
 	}
-	if fused.Swept != sw.Swept {
-		t.Errorf("Swept: fused %d, switch %d", fused.Swept, sw.Swept)
+	if a.Swept != b.Swept {
+		t.Errorf("Swept: %s %d, %s %d", an, a.Swept, bn, b.Swept)
 	}
-	if fused.ElisionChecks != sw.ElisionChecks {
-		t.Errorf("ElisionChecks: fused %d, switch %d", fused.ElisionChecks, sw.ElisionChecks)
+	if a.ElisionChecks != b.ElisionChecks {
+		t.Errorf("ElisionChecks: %s %d, %s %d", an, a.ElisionChecks, bn, b.ElisionChecks)
 	}
-	if fused.TotalCost() != sw.TotalCost() {
-		t.Errorf("TotalCost: fused %d, switch %d", fused.TotalCost(), sw.TotalCost())
+	if a.TotalCost() != b.TotalCost() {
+		t.Errorf("TotalCost: %s %d, %s %d", an, a.TotalCost(), bn, b.TotalCost())
 	}
 	// The counters must match to the last per-site statistic, including
 	// which sites exist at all (site stats are created lazily on first
-	// execution in both engines).
-	if !reflect.DeepEqual(fused.Counters, sw.Counters) {
-		fs, ss := fused.Counters.Summarize(), sw.Counters.Summarize()
-		t.Errorf("Counters differ: fused {cost=%d logged=%d execs=%d sites=%d} switch {cost=%d logged=%d execs=%d sites=%d}",
-			fused.Counters.Cost, fused.Counters.Logged, fs.TotalExecs, len(fused.Counters.Sites()),
-			sw.Counters.Cost, sw.Counters.Logged, ss.TotalExecs, len(sw.Counters.Sites()))
+	// execution in every engine).
+	if !reflect.DeepEqual(a.Counters, b.Counters) {
+		as, bs := a.Counters.Summarize(), b.Counters.Summarize()
+		t.Errorf("Counters differ: %s {cost=%d logged=%d execs=%d sites=%d} %s {cost=%d logged=%d execs=%d sites=%d}",
+			an, a.Counters.Cost, a.Counters.Logged, as.TotalExecs, len(a.Counters.Sites()),
+			bn, b.Counters.Cost, b.Counters.Logged, bs.TotalExecs, len(b.Counters.Sites()))
 	}
 }
 
 // TestEngineDifferentialWorkloads sweeps all six Table 1 workloads across
-// barrier modes × analysis configurations × oracle on/off.
+// barrier modes × analysis configurations × oracle on/off, on all three
+// engines. The compiled tier must be bit-identical to both reference
+// engines; under the oracle, tier-up is disabled and the run degrades to
+// fused dispatch (TierUps must be 0), still bit-identical.
 func TestEngineDifferentialWorkloads(t *testing.T) {
 	for _, w := range workloads.All() {
 		for _, dc := range diffConfigs() {
@@ -129,9 +143,24 @@ func TestEngineDifferentialWorkloads(t *testing.T) {
 					cfg.CheckElisions = oracle
 					fused := runEngine(t, bd, cfg, vm.EngineFused)
 					sw := runEngine(t, bd, cfg, vm.EngineSwitch)
-					assertIdentical(t, fused, sw)
-					if oracle && fused.ElisionChecks == 0 && dc.analysis.Mode != core.ModeNone {
-						t.Error("oracle ran but validated no elided stores")
+					comp := runEngine(t, bd, cfg, vm.EngineCompiled)
+					assertIdentical(t, fused, sw, "fused", "switch")
+					assertIdentical(t, comp, fused, "compiled", "fused")
+					if oracle {
+						if comp.TierUps != 0 || comp.TierSegExecs != 0 {
+							t.Errorf("oracle run tiered up (ups=%d segExecs=%d); the tier must disable itself under the oracle",
+								comp.TierUps, comp.TierSegExecs)
+						}
+						if fused.ElisionChecks == 0 && dc.analysis.Mode != core.ModeNone {
+							t.Error("oracle ran but validated no elided stores")
+						}
+					} else {
+						if comp.TierUps == 0 {
+							t.Errorf("compiled run tiered up no methods at threshold %d", diffTierThreshold)
+						}
+						if comp.TierSegExecs == 0 {
+							t.Error("compiled run executed no compiled segments")
+						}
 					}
 				})
 			}
@@ -139,10 +168,13 @@ func TestEngineDifferentialWorkloads(t *testing.T) {
 	}
 }
 
-// TestEngineDifferentialQuantumBoundaries stresses the fused-op gating at
-// scheduler quantum boundaries: tiny odd quanta force superinstructions
-// to straddle quantum ends and fall back to the per-instruction path
-// mid-sequence, which must not perturb any observable result.
+// TestEngineDifferentialQuantumBoundaries stresses boundary gating at
+// scheduler quantum ends: tiny odd quanta force fused superinstructions
+// and whole compiled segments to straddle quantum ends and fall back to
+// the per-instruction path mid-sequence, which must not perturb any
+// observable result. Quantum 1 is the extreme: no compiled segment longer
+// than one instruction ever fits, so the compiled engine runs almost
+// entirely on its deopt path.
 func TestEngineDifferentialQuantumBoundaries(t *testing.T) {
 	w, err := workloads.Get("jbb")
 	if err != nil {
@@ -164,13 +196,17 @@ func TestEngineDifferentialQuantumBoundaries(t *testing.T) {
 		}
 		fused := runEngine(t, bd, cfg, vm.EngineFused)
 		sw := runEngine(t, bd, cfg, vm.EngineSwitch)
-		t.Run("quantum", func(t *testing.T) { assertIdentical(t, fused, sw) })
+		comp := runEngine(t, bd, cfg, vm.EngineCompiled)
+		t.Run("quantum", func(t *testing.T) {
+			assertIdentical(t, fused, sw, "fused", "switch")
+			assertIdentical(t, comp, fused, "compiled", "fused")
+		})
 	}
 }
 
 // TestEngineDifferentialStepBudget verifies that budget exhaustion
-// surfaces at the identical instruction on both engines (a fused form
-// must never over- or under-run MaxSteps).
+// surfaces at the identical instruction on all three engines (a fused
+// form or compiled segment must never over- or under-run MaxSteps).
 func TestEngineDifferentialStepBudget(t *testing.T) {
 	w, err := workloads.Get("db")
 	if err != nil {
@@ -186,11 +222,60 @@ func TestEngineDifferentialStepBudget(t *testing.T) {
 		_, ferr := bd.Run(cfg)
 		cfg.Engine = vm.EngineSwitch
 		_, serr := bd.Run(cfg)
-		if ferr == nil || serr == nil {
-			t.Fatalf("budget %d: expected exhaustion on both engines (fused=%v switch=%v)", budget, ferr, serr)
+		cfg.Engine = vm.EngineCompiled
+		cfg.TierThreshold = diffTierThreshold
+		_, cerr := bd.Run(cfg)
+		if ferr == nil || serr == nil || cerr == nil {
+			t.Fatalf("budget %d: expected exhaustion on every engine (fused=%v switch=%v compiled=%v)",
+				budget, ferr, serr, cerr)
 		}
 		if ferr.Error() != serr.Error() {
 			t.Errorf("budget %d: fused error %q, switch error %q", budget, ferr, serr)
+		}
+		if cerr.Error() != ferr.Error() {
+			t.Errorf("budget %d: compiled error %q, fused error %q", budget, cerr, ferr)
+		}
+	}
+}
+
+// TestEngineDifferentialForcedDeopt runs the compiled tier with forced
+// deoptimization firing at varying points mid-execution — after the
+// first compiled segment, mid-loop, deep into the run — and demands
+// bit-identical results versus the fused engine. This is the deopt
+// contract: abandoning compiled code at ANY segment boundary re-enters
+// fused dispatch with no observable difference.
+func TestEngineDifferentialForcedDeopt(t *testing.T) {
+	for _, wname := range []string{"db", "mtrt"} {
+		w, err := workloads.Get(wname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+			InlineLimit: 100,
+			Analysis:    core.Options{Mode: core.ModeFieldArray, NullOrSame: true, Rearrange: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := vm.Config{
+			Barrier:            satb.ModeConditional,
+			GC:                 vm.GCSATB,
+			TriggerEveryAllocs: 64,
+		}
+		fused := runEngine(t, bd, cfg, vm.EngineFused)
+		for _, after := range []int64{1, 5, 50, 500} {
+			ccfg := cfg
+			ccfg.TierForceDeoptAfter = after
+			comp := runEngine(t, bd, ccfg, vm.EngineCompiled)
+			t.Run(wname, func(t *testing.T) {
+				assertIdentical(t, comp, fused, "compiled", "fused")
+				if comp.TierSegExecs != after {
+					t.Errorf("deopt after %d: TierSegExecs = %d, want exactly %d", after, comp.TierSegExecs, after)
+				}
+				if comp.TierDeopts == 0 {
+					t.Errorf("deopt after %d: TierDeopts = 0, want forced deopt recorded", after)
+				}
+			})
 		}
 	}
 }

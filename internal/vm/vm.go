@@ -46,24 +46,43 @@ const (
 	// EngineSwitch is the reference interpreter: a giant switch over the
 	// raw bytecode, kept as the differential-testing baseline.
 	EngineSwitch
+	// EngineCompiled is the tiered execution engine: methods start on
+	// fused dispatch and, once their exec counter (entries + loop
+	// back-edges) crosses Config.TierThreshold, are translated to
+	// closure-threaded compiled code — an array of per-segment
+	// continuations with branch targets resolved to segment indices,
+	// fused superinstructions preserved, and elided stores compiled to
+	// raw writes with no barrier-test residue. Scheduler-quantum and
+	// step-budget checks happen only at segment boundaries (loop
+	// back-edges, branches, calls); a segment that does not fit the
+	// remaining quantum or budget deopts to fused dispatch for the tail,
+	// so thread interleaving and results stay bit-identical to the other
+	// engines. The runtime elision oracle disables tier-up entirely
+	// (oracle runs execute on fused dispatch with identical semantics).
+	EngineCompiled
 )
 
 func (e Engine) String() string {
-	if e == EngineSwitch {
+	switch e {
+	case EngineSwitch:
 		return "switch"
+	case EngineCompiled:
+		return "compiled"
 	}
 	return "fused"
 }
 
-// ParseEngine parses an engine name ("fused" or "switch").
+// ParseEngine parses an engine name ("fused", "switch", or "compiled").
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "fused", "":
 		return EngineFused, nil
 	case "switch":
 		return EngineSwitch, nil
+	case "compiled":
+		return EngineCompiled, nil
 	}
-	return EngineFused, fmt.Errorf("unknown engine %q (want fused or switch)", s)
+	return EngineFused, fmt.Errorf("unknown engine %q (want fused, switch, or compiled)", s)
 }
 
 // ParseGCKind parses a collector name ("none", "satb", or "inc"). All
@@ -109,6 +128,17 @@ type Config struct {
 	// structured *SoundnessViolation instead of silently corrupting
 	// marking.
 	CheckElisions bool
+	// TierThreshold is the hot-method exec count (method entries + loop
+	// back-edges observed on fused dispatch) at which EngineCompiled
+	// translates a method to closure-threaded compiled code (0 = default
+	// 64). Ignored by the other engines.
+	TierThreshold int64
+	// TierForceDeoptAfter, when > 0, abandons ALL compiled methods after
+	// that many compiled-segment executions and permanently re-enters
+	// fused dispatch (simulating tier invalidation). A deliberately
+	// non-production knob for deopt testing and chaos runs; results stay
+	// bit-identical because fused dispatch is the tier's deopt target.
+	TierForceDeoptAfter int64
 }
 
 // Result summarizes a run.
@@ -127,9 +157,19 @@ type Result struct {
 	// ElisionChecks counts elided-store executions validated by the
 	// soundness oracle (0 unless Config.CheckElisions was set).
 	ElisionChecks int64
-	// Engine names the execution engine that produced the result ("fused"
-	// or "switch"); informational only, never part of the semantics.
+	// Engine names the execution engine that produced the result
+	// ("fused", "switch", or "compiled"); informational only, never part
+	// of the semantics.
 	Engine string
+	// TierUps counts methods translated to the compiled tier during this
+	// run; TierDeopts counts fallbacks from compiled code to fused
+	// dispatch (quantum-tail, step-budget, or forced deopts); TierSegExecs
+	// counts compiled-segment dispatches. All zero unless EngineCompiled
+	// was selected. Informational only — never part of the semantics, and
+	// excluded from engine-parity comparisons (like Engine).
+	TierUps      int
+	TierDeopts   int64
+	TierSegExecs int64
 }
 
 // TotalCost is the deterministic cost-model total: instructions executed
@@ -196,6 +236,21 @@ type VM struct {
 	fusedExecs int64
 	cycleSpan  obs.Span
 
+	// Compiled-tier state (EngineCompiled only). tierThreshold is the
+	// resolved hot counter; tierOff is set by a forced deopt and
+	// permanently pins execution to fused dispatch; the counters feed
+	// Result and the observability registry.
+	tierThreshold int64
+	tierOff       bool
+	tierUps       int
+	tierDeopts    int64
+	tierSegExecs  int64
+	// opEntered is the error-path side channel for compiled-segment step
+	// accounting: when a compiled op fails it records how many base
+	// instructions were entered within that op, so the segment runner can
+	// charge exactly what the reference interpreter would have counted.
+	opEntered int32
+
 	// ctx/cancel carry RunContext's cancellation; cancel is nil for the
 	// plain Run path, so the scheduler loop pays one nil check per
 	// quantum and nothing more.
@@ -214,12 +269,16 @@ func New(p *bytecode.Program, cfg Config) *VM {
 	if cfg.MaxSteps <= 0 {
 		cfg.MaxSteps = 200_000_000
 	}
+	if cfg.TierThreshold <= 0 {
+		cfg.TierThreshold = DefaultTierThreshold
+	}
 	v := &VM{
-		prog:     p,
-		cfg:      cfg,
-		heap:     heap.New(heap.NewLayout(p)),
-		counters: satb.NewCounters(),
-		maxSteps: cfg.MaxSteps,
+		prog:          p,
+		cfg:           cfg,
+		heap:          heap.New(heap.NewLayout(p)),
+		counters:      satb.NewCounters(),
+		maxSteps:      cfg.MaxSteps,
+		tierThreshold: cfg.TierThreshold,
 	}
 	switch cfg.GC {
 	case GCSATB:
@@ -244,9 +303,15 @@ func New(p *bytecode.Program, cfg Config) *VM {
 }
 
 // EngineUsed reports the engine this VM actually executes with (the fused
-// engine falls back to the switch interpreter on undecodable programs).
+// and compiled engines fall back to the switch interpreter on undecodable
+// programs). A compiled-tier VM reports "compiled" even when no method
+// crossed the hot threshold — tier capability, not tier occupancy; the
+// Result's TierUps says how many methods actually compiled.
 func (v *VM) EngineUsed() Engine {
 	if v.dprog != nil {
+		if v.cfg.Engine == EngineCompiled {
+			return EngineCompiled
+		}
 		return EngineFused
 	}
 	return EngineSwitch
@@ -293,9 +358,21 @@ func (v *VM) Run() (*Result, error) {
 
 func (v *VM) run() (*Result, error) {
 	if v.dprog != nil {
+		if v.tierEnabled() {
+			return v.runTiered()
+		}
 		return v.runFused()
 	}
 	return v.runSwitch()
+}
+
+// tierEnabled reports whether this run may tier methods up to compiled
+// code. The runtime elision oracle instruments every elided store with
+// per-object shadow checks the compiled store paths deliberately omit, so
+// oracle runs stay on fused dispatch — the tier's deopt target — with
+// identical semantics.
+func (v *VM) tierEnabled() bool {
+	return v.cfg.Engine == EngineCompiled && v.oracle == nil
 }
 
 // publishObs flushes the run's execution counters into the observability
@@ -311,6 +388,11 @@ func (v *VM) publishObs(ok bool) {
 	obs.Count("vm.allocated", v.heap.Allocated)
 	obs.Count("vm.swept", int64(v.swept))
 	obs.Count("vm.fused_execs", v.fusedExecs)
+	if v.cfg.Engine == EngineCompiled {
+		obs.Count("vm.tier.ups", int64(v.tierUps))
+		obs.Count("vm.tier.deopts", v.tierDeopts)
+		obs.Count("vm.tier.seg_execs", v.tierSegExecs)
+	}
 	if !ok {
 		obs.Count("vm.failed_runs", 1)
 	}
@@ -410,6 +492,9 @@ func (v *VM) result() *Result {
 		Allocated:      v.heap.Allocated,
 		Swept:          v.swept,
 		Engine:         v.EngineUsed().String(),
+		TierUps:        v.tierUps,
+		TierDeopts:     v.tierDeopts,
+		TierSegExecs:   v.tierSegExecs,
 	}
 	if v.oracle != nil {
 		res.ElisionChecks = v.oracle.checks
