@@ -3,8 +3,11 @@
 // end-to-end barrier cost), Figure 2 (inline-limit sweep), Figure 3
 // (compiled code size), the §4.3 null-or-same measurements, the
 // compile-side performance snapshot (per-stage times + fixed-point block
-// visits), and the soundness-oracle sweep (-oracle: every workload run
-// with runtime validation of each elided store).
+// visits), the soundness-oracle sweep (-oracle: every workload run
+// with runtime validation of each elided store), and the cross-flavor
+// barrier matrix (-barriers: every workload under every barrier flavor —
+// conditional, always-log, yuasa, dijkstra, hybrid, card — comparing
+// per-flavor elimination rates and end-to-end barrier cost).
 //
 // With -json FILE every computed section is additionally written as a
 // versioned report.Document (e.g. BENCH_satb.json), so the perf
@@ -50,6 +53,7 @@ func main() {
 	f3 := flag.Bool("fig3", false, "Figure 3: compiled code size")
 	nos := flag.Bool("nullorsame", false, "§4.3 null-or-same measurements")
 	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
+	barriers := flag.Bool("barriers", false, "cross-flavor barrier matrix (yuasa/dijkstra/hybrid/... elimination and cost per workload)")
 	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
 	perf := flag.Bool("perf", false, "compile-side performance snapshot (stage times, block visits)")
 	vmperf := flag.Bool("vmperf", false, "VM execution-engine performance (compiled vs fused vs switch: instr/s, ns/instr, allocs/op, tier counters)")
@@ -67,10 +71,10 @@ func main() {
 		*oracle = true
 	}
 	if *all {
-		*t1, *t2, *f2, *f3, *nos, *rearr, *interp, *perf, *vmperf, *oracle = true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *f2, *f3, *nos, *rearr, *barriers, *interp, *perf, *vmperf, *oracle = true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*interp && !*perf && !*vmperf && !*oracle {
-		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-interprocedural] [-perf] [-vmperf] [-oracle] [-strict] [-deadline D] [-json FILE] [-trace FILE] [-metrics FILE]")
+	if !*t1 && !*t2 && !*f2 && !*f3 && !*nos && !*rearr && !*barriers && !*interp && !*perf && !*vmperf && !*oracle {
+		fmt.Fprintln(os.Stderr, "usage: satbbench [-all] [-table1] [-table2] [-fig2] [-fig3] [-nullorsame] [-rearrange] [-barriers] [-interprocedural] [-perf] [-vmperf] [-oracle] [-strict] [-deadline D] [-json FILE] [-trace FILE] [-metrics FILE]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -137,6 +141,14 @@ func main() {
 		}
 		out.Rearrange = rows
 		fmt.Println(report.FormatRearrangement(rows))
+	}
+	if *barriers {
+		rows, err := report.Barriers(*inlineLimit)
+		if err != nil {
+			fatal(err)
+		}
+		out.Barriers = rows
+		fmt.Println(report.FormatBarriers(rows))
 	}
 	if *interp {
 		rows, err := report.Interprocedural()

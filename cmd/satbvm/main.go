@@ -34,7 +34,7 @@ func main() {
 	inlineLimit := flag.Int("inline", 100, "inline limit in bytecode bytes")
 	mode := flag.String("mode", "A", "analysis mode: B, F, or A")
 	nullOrSame := flag.Bool("nullorsame", false, "enable the null-or-same extension")
-	barrier := flag.String("barrier", "conditional", "barrier mode: none, conditional, alwayslog, card")
+	barrier := flag.String("barrier", "conditional", "barrier flavor: none, conditional, alwayslog, card, yuasa, dijkstra, hybrid")
 	gcKind := flag.String("gc", "none", "collector: none, satb, inc")
 	trigger := flag.Int64("gc-trigger", 200, "allocations between marking cycles")
 	check := flag.Bool("check", false, "verify the SATB snapshot invariant every cycle")

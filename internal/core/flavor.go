@@ -1,0 +1,76 @@
+package core
+
+import (
+	"satbelim/internal/bytecode"
+	"satbelim/internal/satb"
+)
+
+// FlavorVerdicts is the per-flavor static picture of one compiled
+// program: of the elision verdicts the analysis attached to reference
+// stores, how many the barrier flavor's soundness predicate keeps and
+// how many it must discard (projected back to a full barrier). The
+// analysis itself is flavor-independent — it proves facts about stores
+// (pre-null, null-or-same, rearrangement) — and each flavor consumes
+// only the subset of those facts that justifies removing *its* barrier.
+type FlavorVerdicts struct {
+	Flavor string `json:"flavor"`
+	// Verdicts counts store sites carrying any elision verdict.
+	Verdicts int `json:"verdicts"`
+	// Kept counts verdicts sound under the flavor (the barrier is
+	// actually removed at those sites).
+	Kept int `json:"kept"`
+	// Discarded counts verdicts the flavor cannot use; those sites keep
+	// their full barrier.
+	Discarded int `json:"discarded"`
+}
+
+// staticVerdict mirrors the VM's flag-to-verdict mapping for a compiled
+// instruction.
+func staticVerdict(in *bytecode.Instr) satb.ElideKind {
+	switch {
+	case in.Elide:
+		return satb.ElidePreNull
+	case in.ElideNullOrSame:
+		return satb.ElideNullOrSame
+	case in.ElideRearrange:
+		return satb.ElideRearrange
+	default:
+		return satb.ElideNone
+	}
+}
+
+// FlavorSiteVerdicts filters a compiled program's static elision
+// verdicts through one flavor's soundness predicate.
+func FlavorSiteVerdicts(p *bytecode.Program, spec *satb.BarrierSpec) FlavorVerdicts {
+	fv := FlavorVerdicts{Flavor: spec.Name}
+	for _, m := range p.Methods() {
+		for i := range m.Code {
+			in := &m.Code[i]
+			if in.Op != bytecode.OpPutField && in.Op != bytecode.OpAAStore {
+				continue
+			}
+			k := staticVerdict(in)
+			if k == satb.ElideNone {
+				continue
+			}
+			fv.Verdicts++
+			if spec.Sound(k) {
+				fv.Kept++
+			} else {
+				fv.Discarded++
+			}
+		}
+	}
+	return fv
+}
+
+// AllFlavorVerdicts computes FlavorSiteVerdicts for every registered
+// barrier flavor, in satb.AllSpecs order.
+func AllFlavorVerdicts(p *bytecode.Program) []FlavorVerdicts {
+	specs := satb.AllSpecs()
+	out := make([]FlavorVerdicts, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, FlavorSiteVerdicts(p, sp))
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"satbelim/internal/bytecode"
+	"satbelim/internal/satb"
+)
+
+// flavorProgram hand-builds a program whose main method carries one
+// verdict of each kind plus an unelided store.
+func flavorProgram() *bytecode.Program {
+	p := bytecode.NewProgram()
+	cls := &bytecode.Class{Name: "T"}
+	m := &bytecode.Method{Class: "T", Name: "main", Static: true}
+	m.Code = []bytecode.Instr{
+		{Op: bytecode.OpPutField, Elide: true},
+		{Op: bytecode.OpAAStore, ElideNullOrSame: true},
+		{Op: bytecode.OpAAStore, ElideRearrange: true},
+		{Op: bytecode.OpPutField},
+		{Op: bytecode.OpReturn},
+	}
+	cls.Methods = append(cls.Methods, m)
+	p.AddClass(cls)
+	p.Main = bytecode.MethodRef{Class: "T", Name: "main"}
+	return p
+}
+
+func TestFlavorSiteVerdicts(t *testing.T) {
+	p := flavorProgram()
+	want := map[satb.BarrierMode]FlavorVerdicts{
+		satb.ModeConditional: {Flavor: "conditional", Verdicts: 3, Kept: 3, Discarded: 0},
+		satb.ModeYuasa:       {Flavor: "yuasa", Verdicts: 3, Kept: 3, Discarded: 0},
+		satb.ModeDijkstra:    {Flavor: "dijkstra", Verdicts: 3, Kept: 0, Discarded: 3},
+		satb.ModeHybrid:      {Flavor: "hybrid", Verdicts: 3, Kept: 1, Discarded: 2},
+	}
+	for mode, w := range want {
+		got := FlavorSiteVerdicts(p, mode.Spec())
+		if got != w {
+			t.Errorf("%s: verdicts = %+v, want %+v", mode, got, w)
+		}
+	}
+}
+
+func TestAllFlavorVerdictsCoverEveryFlavor(t *testing.T) {
+	rows := AllFlavorVerdicts(flavorProgram())
+	if len(rows) != len(satb.AllSpecs()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(satb.AllSpecs()))
+	}
+	for i, sp := range satb.AllSpecs() {
+		if rows[i].Flavor != sp.Name {
+			t.Errorf("row %d flavor = %q, want %q", i, rows[i].Flavor, sp.Name)
+		}
+		if rows[i].Kept+rows[i].Discarded != rows[i].Verdicts {
+			t.Errorf("%s: kept %d + discarded %d != verdicts %d",
+				rows[i].Flavor, rows[i].Kept, rows[i].Discarded, rows[i].Verdicts)
+		}
+	}
+}

@@ -36,6 +36,9 @@ type Marker interface {
 	Finish(roots []heap.Ref) int
 	MarkingActive() bool
 	LogPreValue(r heap.Ref)
+	// Shade greys a reference installed by the mutator (insertion
+	// shading, the Dijkstra/hybrid barriers' collector half).
+	Shade(r heap.Ref)
 	DirtyCard(r heap.Ref)
 	// TraceStateOf reports the collector's scan progress on an array
 	// (§4.3 rearrangement protocol); Retrace schedules the array for a
@@ -58,6 +61,9 @@ type CycleStats struct {
 	// CardsSeen counts dirty objects recorded (incremental marker).
 	LogEntries int
 	CardsSeen  int
+	// ShadeEntries counts insertion-shading events delivered by the
+	// Dijkstra/hybrid barriers.
+	ShadeEntries int
 	// Retraces counts arrays rescanned by the §4.3 rearrangement
 	// protocol.
 	Retraces int
@@ -83,6 +89,7 @@ type SATBMarker struct {
 	StepsDone      int
 	FinalPauseWork int
 	LogEntries     int
+	ShadeEntries   int
 	// RetraceCount counts arrays rescanned by the rearrangement
 	// protocol this cycle.
 	RetraceCount int
@@ -101,6 +108,7 @@ func (m *SATBMarker) Start(roots []heap.Ref, recordSnapshot bool) {
 	m.MarkedCount = 0
 	m.StepsDone = 0
 	m.LogEntries = 0
+	m.ShadeEntries = 0
 	m.RetraceCount = 0
 	m.h.MarkingActive = true
 	m.h.ForEach(func(_ heap.Ref, o *heap.Object) { o.TraceState = heap.TraceUntraced })
@@ -139,11 +147,23 @@ func (m *SATBMarker) LogPreValue(r heap.Ref) {
 	m.buf = append(m.buf, r)
 }
 
+// Shade receives a stored reference from an insertion-shading barrier.
+// Like pre-value log entries it is buffered and drained by Step, so
+// insertion shading does the marker's tracing work on the marker's
+// schedule, not the mutator's.
+func (m *SATBMarker) Shade(r heap.Ref) {
+	if !m.active || r == heap.Null {
+		return
+	}
+	m.ShadeEntries++
+	m.buf = append(m.buf, r)
+}
+
 // Stats reports this cycle's work counts.
 func (m *SATBMarker) Stats() CycleStats {
 	return CycleStats{Marked: m.MarkedCount, Steps: m.StepsDone,
 		FinalPauseWork: m.FinalPauseWork, LogEntries: m.LogEntries,
-		Retraces: m.RetraceCount}
+		ShadeEntries: m.ShadeEntries, Retraces: m.RetraceCount}
 }
 
 // DirtyCard is a no-op for SATB marking.
@@ -284,6 +304,7 @@ type IncMarker struct {
 	StepsDone      int
 	FinalPauseWork int
 	CardsSeen      int
+	ShadeEntries   int
 }
 
 // NewInc returns an incremental-update marker.
@@ -294,7 +315,8 @@ func NewInc(h *heap.Heap) *IncMarker {
 // Stats reports this cycle's work counts.
 func (m *IncMarker) Stats() CycleStats {
 	return CycleStats{Marked: m.MarkedCount, Steps: m.StepsDone,
-		FinalPauseWork: m.FinalPauseWork, CardsSeen: m.CardsSeen}
+		FinalPauseWork: m.FinalPauseWork, CardsSeen: m.CardsSeen,
+		ShadeEntries: m.ShadeEntries}
 }
 
 // Start begins a cycle.
@@ -305,6 +327,7 @@ func (m *IncMarker) Start(roots []heap.Ref, recordSnapshot bool) {
 	m.MarkedCount = 0
 	m.StepsDone = 0
 	m.CardsSeen = 0
+	m.ShadeEntries = 0
 	m.h.MarkingActive = true
 	for _, r := range roots {
 		m.shade(r)
@@ -329,6 +352,16 @@ func (m *IncMarker) MarkingActive() bool { return m.active }
 
 // LogPreValue is a no-op for incremental update.
 func (m *IncMarker) LogPreValue(heap.Ref) {}
+
+// Shade greys a stored reference immediately: incremental update has no
+// deferred log, so insertion shading marks on the spot.
+func (m *IncMarker) Shade(r heap.Ref) {
+	if !m.active || r == heap.Null {
+		return
+	}
+	m.ShadeEntries++
+	m.shade(r)
+}
 
 // TraceStateOf always reports untraced: incremental update has no
 // rearrangement protocol (flagged stores fall back to card marking).

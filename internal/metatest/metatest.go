@@ -3,9 +3,13 @@
 // campaign corpora) through a library of properties with known oracles —
 // configuration invariances (barrier mode, engine, inline limit never
 // change output), the PR-2 runtime elision oracle under concurrent
-// marking, and metamorphic source mutations (dead-store insertion never
+// marking, metamorphic source mutations (dead-store insertion never
 // decreases logged-barrier counts; independent-statement reordering
-// preserves elision decisions). Counterexamples are minimized by the
+// preserves elision decisions), and the cross-flavor soundness check
+// (every barrier flavor — conditional, always-log, yuasa, dijkstra,
+// hybrid, card — must be observationally identical between the elided
+// and all-barriers builds under its natural collector, with the oracle
+// armed). Counterexamples are minimized by the
 // shrinker (shrink.go) and packaged as replayable repro artifacts by the
 // campaign runner (campaign.go), which cmd/satbtest fronts.
 package metatest
@@ -54,6 +58,7 @@ func Properties() []Property {
 		{Name: "inline-soundness", Check: checkInlineSoundness},
 		{Name: "dead-store-monotone", Check: checkDeadStoreMonotone},
 		{Name: "reorder-invariance", Check: checkReorderInvariance},
+		{Name: "flavor-soundness", Check: checkFlavorSoundness},
 	}
 }
 
@@ -268,4 +273,71 @@ func totals(b *pipeline.Build) elisionTotals {
 	var t elisionTotals
 	t.FieldSites, t.ArraySites, t.FieldElided, t.ArrayElided, t.NullOrSame = b.Report.Totals()
 	return t
+}
+
+// checkFlavorSoundness: every barrier flavor, run under its natural
+// collector with the runtime elision oracle armed, must be
+// observationally identical between the analyzed (elided) build and the
+// sound all-barriers build. The VM projects analysis verdicts through
+// each flavor's soundness predicate, so a projection bug shows up as an
+// oracle violation or an output/step/allocation divergence. Sweep totals
+// are deliberately NOT compared: an all-barriers run logs pre-values at
+// sites the elided run proved removable, keeping otherwise-dead objects
+// alive one extra cycle (floating garbage) — a legitimate difference.
+func checkFlavorSoundness(src string, analysis core.Options) error {
+	elided, err := compile(src, 100, analysis)
+	if err != nil {
+		return err
+	}
+	full, err := compile(src, 100, core.Options{Mode: core.ModeNone})
+	if err != nil {
+		return err
+	}
+	pairings := []struct {
+		mode satb.BarrierMode
+		gc   vm.GCKind
+	}{
+		{satb.ModeConditional, vm.GCSATB},
+		{satb.ModeAlwaysLog, vm.GCSATB},
+		{satb.ModeYuasa, vm.GCSATB},
+		{satb.ModeDijkstra, vm.GCSATB},
+		{satb.ModeHybrid, vm.GCSATB},
+		{satb.ModeCardMarking, vm.GCIncremental},
+	}
+	for _, pr := range pairings {
+		cfg := vm.Config{
+			Barrier:            pr.mode,
+			GC:                 pr.gc,
+			TriggerEveryAllocs: 64,
+			// Armed only on snapshot-sound flavors; the insertion-only
+			// and card flavors do not maintain the mark-start snapshot.
+			CheckInvariant: true,
+			CheckElisions:  true,
+			MaxSteps:       maxSteps,
+		}
+		eres, err := elided.Run(cfg)
+		if err != nil {
+			return &Violation{Prop: "flavor-soundness",
+				Msg: fmt.Sprintf("%v/%v elided: %v", pr.mode, pr.gc, err)}
+		}
+		fres, err := full.Run(cfg)
+		if err != nil {
+			return &Violation{Prop: "flavor-soundness",
+				Msg: fmt.Sprintf("%v/%v all-barriers: %v", pr.mode, pr.gc, err)}
+		}
+		if !reflect.DeepEqual(eres.Output, fres.Output) {
+			return &Violation{Prop: "flavor-soundness",
+				Msg: fmt.Sprintf("%v: elision changed output %v -> %v", pr.mode, fres.Output, eres.Output)}
+		}
+		if eres.Steps != fres.Steps || eres.Allocated != fres.Allocated || eres.Cycles != fres.Cycles {
+			return &Violation{Prop: "flavor-soundness",
+				Msg: fmt.Sprintf("%v: elision changed execution: steps %d/%d allocated %d/%d cycles %d/%d",
+					pr.mode, eres.Steps, fres.Steps, eres.Allocated, fres.Allocated, eres.Cycles, fres.Cycles)}
+		}
+		if s := eres.Counters.Summarize(); len(s.UnsoundSites) > 0 {
+			return &Violation{Prop: "flavor-soundness",
+				Msg: fmt.Sprintf("%v: unsound sites %v", pr.mode, s.UnsoundSites)}
+		}
+	}
+	return nil
 }

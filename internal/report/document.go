@@ -30,16 +30,19 @@ type Document struct {
 	Workers     int `json:"workers,omitempty"`
 
 	// Experiment sections (satbbench).
-	Perf            []PerfRow       `json:"perf,omitempty"`
-	Table1          []Table1Row     `json:"table1,omitempty"`
-	Table2          []Table2Row     `json:"table2,omitempty"`
-	Figure2         []Fig2Point     `json:"figure2,omitempty"`
-	Figure3         []Fig3Row       `json:"figure3,omitempty"`
-	NullOrSame      []NullOrSameRow `json:"null_or_same,omitempty"`
-	Rearrange       []RearrangeRow  `json:"rearrange,omitempty"`
-	Interprocedural []InterprocRow  `json:"interprocedural,omitempty"`
-	Oracle          []OracleRow     `json:"oracle,omitempty"`
-	VMPerf          []VMPerfRow     `json:"vmperf,omitempty"`
+	Perf       []PerfRow       `json:"perf,omitempty"`
+	Table1     []Table1Row     `json:"table1,omitempty"`
+	Table2     []Table2Row     `json:"table2,omitempty"`
+	Figure2    []Fig2Point     `json:"figure2,omitempty"`
+	Figure3    []Fig3Row       `json:"figure3,omitempty"`
+	NullOrSame []NullOrSameRow `json:"null_or_same,omitempty"`
+	Rearrange  []RearrangeRow  `json:"rearrange,omitempty"`
+	// Barriers is the cross-flavor barrier matrix (satbbench -barriers;
+	// additive to schema v1).
+	Barriers        []BarrierRow   `json:"barriers,omitempty"`
+	Interprocedural []InterprocRow `json:"interprocedural,omitempty"`
+	Oracle          []OracleRow    `json:"oracle,omitempty"`
+	VMPerf          []VMPerfRow    `json:"vmperf,omitempty"`
 	// VMPerfGeomeanSpeedup is the geometric-mean fused-over-switch VM
 	// speedup across workloads (present with the vmperf section).
 	VMPerfGeomeanSpeedup float64 `json:"vmperf_geomean_speedup,omitempty"`
@@ -74,13 +77,19 @@ func NewDocument(tool string) *Document {
 
 // RunSummary is one VM run in Document form.
 type RunSummary struct {
-	Workload       string  `json:"workload"`
-	Engine         string  `json:"engine"`
-	Output         []int64 `json:"output"`
-	Steps          int64   `json:"steps"`
-	BarrierCost    uint64  `json:"barrier_cost"`
-	TotalCost      uint64  `json:"total_cost"`
-	Logged         uint64  `json:"logged"`
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	// Flavor is the barrier flavor the run executed with ("conditional",
+	// "yuasa", "dijkstra", ...; additive to schema v1).
+	Flavor      string  `json:"barrier_flavor,omitempty"`
+	Output      []int64 `json:"output"`
+	Steps       int64   `json:"steps"`
+	BarrierCost uint64  `json:"barrier_cost"`
+	TotalCost   uint64  `json:"total_cost"`
+	Logged      uint64  `json:"logged"`
+	// Shaded counts insertion-side shade events (new-value shading by
+	// the dijkstra and hybrid flavors; additive to schema v1).
+	Shaded         uint64  `json:"shaded,omitempty"`
 	CardsDirtied   uint64  `json:"cards_dirtied,omitempty"`
 	StaticExecs    uint64  `json:"static_execs"`
 	BarrierExecs   uint64  `json:"barrier_execs"`
@@ -103,6 +112,8 @@ func NewRunSummary(workload string, res *vm.Result) *RunSummary {
 	return &RunSummary{
 		Workload:       workload,
 		Engine:         res.Engine,
+		Flavor:         res.Flavor,
+		Shaded:         res.Counters.Shaded,
 		Output:         res.Output,
 		Steps:          res.Steps,
 		BarrierCost:    res.Counters.Cost,
@@ -249,6 +260,11 @@ type SatbdStats struct {
 	TierUps      int64 `json:"tier_ups,omitempty"`
 	TierDeopts   int64 `json:"tier_deopts,omitempty"`
 	TierSegExecs int64 `json:"tier_seg_execs,omitempty"`
+	// Barrier traffic accumulated across /run requests: deletion-side
+	// log entries and insertion-side shade events (additive to schema
+	// v1). Per-flavor splits are on /metrics as vm.barrier.flavor.*.
+	Logged int64 `json:"logged,omitempty"`
+	Shaded int64 `json:"shaded,omitempty"`
 }
 
 // SatbdLoad is one load-test run's outcome (satbd -loadtest).

@@ -27,10 +27,18 @@ func sampleDocument() *Document {
 		FieldShare: 70.0, ArrayShare: 30.0, FieldElim: 55.0, ArrayElim: 45.0,
 		Paper: workloads.PaperRow{},
 	}}
+	doc.Barriers = []BarrierRow{{
+		Workload: "jbb", Flavor: "hybrid", GC: "satb",
+		StaticKept: 14, StaticDiscarded: 4,
+		Execs: 1000, ElimPct: 48.0, PreNullPct: 40.0,
+		NullOrSamePct: 8.0, RearrangePct: 0.0,
+		Logged: 120, Shaded: 95, Cards: 0,
+		BarrierCost: 4200, TotalCost: 16545, Relative: 0.985,
+	}}
 	doc.Run = &RunSummary{
-		Workload: "jbb", Engine: "fused", Output: []int64{42},
+		Workload: "jbb", Engine: "fused", Flavor: "hybrid", Output: []int64{42},
 		Steps: 12345, BarrierCost: 678, TotalCost: 13023,
-		Logged: 90, CardsDirtied: 0, StaticExecs: 12,
+		Logged: 90, Shaded: 35, CardsDirtied: 0, StaticExecs: 12,
 		BarrierExecs: 400, ElidedExecs: 210, ElimPct: 52.5,
 		Cycles: 3, FinalPauseWork: 7, Allocated: 500, Swept: 450,
 		ElisionChecks: 210,
@@ -82,6 +90,7 @@ func sampleDocument() *Document {
 			Shed: 30, Timeouts: 20, Errors: 8, Panics: 2,
 			Inflight: 4, Queued: 2, QueuedPeak: 12,
 			Workers: 4, QueueDepth: 16,
+			Logged: 5100, Shaded: 2300,
 		},
 		Load: &SatbdLoad{
 			Programs: 200, Concurrency: 8, Seed: 7, Sent: 200,

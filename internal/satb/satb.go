@@ -1,9 +1,16 @@
-// Package satb implements the mutator side of snapshot-at-the-beginning
-// concurrent marking: the write barriers executed at reference stores,
-// their thread-local log buffers, per-site instrumentation, and a
-// deterministic instruction-cost model used by the end-to-end experiments
-// (Table 2). A card-marking incremental-update barrier is provided as the
-// comparison baseline.
+// Package satb implements the mutator side of concurrent-marking write
+// barriers: the barriers executed at reference stores, their thread-local
+// log buffers, per-site instrumentation, and a deterministic
+// instruction-cost model used by the end-to-end experiments (Table 2).
+//
+// Barrier behavior is table-driven: every flavor — the paper's SATB
+// deletion barriers (conditional and always-log), the card-marking
+// incremental-update baseline, plus the Yuasa deletion, Dijkstra
+// insertion, and Go-style hybrid barriers — is described by a BarrierSpec
+// declaring its cost table, what it shades (pre-value, new value, or
+// both), its marking-phase gating, and which compile-time elision
+// verdicts remain sound under it. BarrierMode and the barrier entry
+// points are thin wrappers over the spec table.
 package satb
 
 import (
@@ -16,7 +23,7 @@ import (
 )
 
 // BarrierMode selects the barrier configuration (Table 2's three modes,
-// plus the card-marking baseline).
+// the card-marking baseline, and the cross-flavor matrix additions).
 type BarrierMode int
 
 const (
@@ -35,24 +42,28 @@ const (
 	// instruction dirty-card barrier; the collector rescans dirty
 	// objects.
 	ModeCardMarking
+	// ModeYuasa is the classic deletion barrier (Yuasa 1990, PyPy's
+	// mostly-concurrent mark&sweep): while marking, unconditionally push
+	// the overwritten value to the snapshot save stack. No pre-null fast
+	// path — null filtering happens when the stack is drained.
+	ModeYuasa
+	// ModeDijkstra is the pure insertion barrier (Dijkstra et al. 1978):
+	// while marking, shade the value being stored. It keeps every
+	// mutator-installed edge reachable but maintains no snapshot, so
+	// deletion-style elision proofs do not transfer.
+	ModeDijkstra
+	// ModeHybrid is the Go-style hybrid barrier (golang/go#17503):
+	// while marking, shade both the overwritten value and the value
+	// being stored, buying deletion-barrier soundness without stack
+	// rescanning.
+	ModeHybrid
 )
 
-func (m BarrierMode) String() string {
-	switch m {
-	case ModeNoBarrier:
-		return "no-barrier"
-	case ModeConditional:
-		return "conditional"
-	case ModeAlwaysLog:
-		return "always-log"
-	default:
-		return "card-marking"
-	}
-}
+func (m BarrierMode) String() string { return m.Spec().Name }
 
 // ParseBarrierMode parses a barrier-mode name ("none", "conditional",
-// "alwayslog", or "card"). All CLIs share it so the flag vocabulary
-// cannot drift.
+// "alwayslog", "card", "yuasa", "dijkstra", or "hybrid"). All CLIs and
+// the satbd request path share it so the flag vocabulary cannot drift.
 func ParseBarrierMode(s string) (BarrierMode, error) {
 	switch s {
 	case "none":
@@ -63,8 +74,14 @@ func ParseBarrierMode(s string) (BarrierMode, error) {
 		return ModeAlwaysLog, nil
 	case "card":
 		return ModeCardMarking, nil
+	case "yuasa":
+		return ModeYuasa, nil
+	case "dijkstra":
+		return ModeDijkstra, nil
+	case "hybrid":
+		return ModeHybrid, nil
 	}
-	return ModeConditional, fmt.Errorf("unknown barrier mode %q (want none, conditional, alwayslog, or card)", s)
+	return ModeConditional, fmt.Errorf("unknown barrier mode %q (want none, conditional, alwayslog, card, yuasa, dijkstra, or hybrid)", s)
 }
 
 // Barrier cost model, in abstract RISC-instruction units. The paper (§1)
@@ -90,6 +107,23 @@ const (
 	CostAlwaysLogged  = 11
 	// CostCard: the card-marking barrier.
 	CostCard = 2
+	// CostYuasa: the Yuasa deletion barrier's unconditional snapshot
+	// push while marking — load the pre-value and push it to the save
+	// stack. Null filtering happens at drain time, so null and non-null
+	// pre-values cost the same.
+	CostYuasa = 9
+	// CostDijkstraNull / CostDijkstraShade: the insertion barrier tests
+	// only the value being stored; shading greys it. The null fast path
+	// is cheaper than the deletion barriers' because the stored value is
+	// already in a register — no pre-value load.
+	CostDijkstraNull  = 3
+	CostDijkstraShade = 10
+	// CostHybridNull / CostHybridOne / CostHybridBoth: the Go-style
+	// hybrid barrier tests both the overwritten and the stored value and
+	// shades each non-null one.
+	CostHybridNull = 5
+	CostHybridOne  = 12
+	CostHybridBoth = 16
 )
 
 // SiteKind distinguishes the two compiled barrier kinds of Table 1.
@@ -129,12 +163,168 @@ const (
 	ElideRearrange
 )
 
+const numElideKinds = 4
+
+// BarrierSpec is the descriptor for one barrier flavor: its cost table,
+// what it shades, how it is gated on the marking phase, and — the part
+// the compile-time analysis cares about — which elision verdicts remain
+// sound under it. All barrier entry points dispatch over this table;
+// BarrierMode is the spec's stable enum handle.
+type BarrierSpec struct {
+	Mode BarrierMode
+	// Name is the canonical display name (also what BarrierMode.String
+	// returns).
+	Name string
+
+	// ShadesPre / ShadesNew say which store operands the barrier keeps
+	// alive: the overwritten value (deletion shading), the value being
+	// stored (insertion shading), or both (hybrid). A spec shading
+	// neither and not card-marking is the no-barrier configuration.
+	ShadesPre bool
+	ShadesNew bool
+	// Card marks the incremental-update card-dirtying baseline.
+	Card bool
+	// Checked gates the barrier body on MarkingActive: the inline
+	// marking-phase test costs CostCheck when it falls through. Unchecked
+	// flavors (always-log) pay the body cost even outside marking but
+	// deliver entries to the collector only while marking is active.
+	Checked bool
+	// SnapshotSound reports whether the flavor maintains the SATB
+	// snapshot invariant (every object reachable at mark start stays
+	// reachable to the marker). Insertion-only shading and card marking
+	// preserve liveness but not the snapshot, so the snapshot-invariant
+	// checker must not be armed under them.
+	SnapshotSound bool
+
+	// Cost table, in abstract instruction units.
+	CostCheck     uint64 // Checked flavor, marking not in progress
+	CostFast      uint64 // barrier body with nothing to shade
+	CostShade     uint64 // barrier body shading one value
+	CostShadeBoth uint64 // barrier body shading both values (hybrid)
+	CostCard      uint64 // card-dirtying store
+
+	// sound[k] reports whether elision verdict k may be applied under
+	// this flavor. Pre-null proofs are exactly deletion-safe; null-or-
+	// same and rearrangement elision additionally assume the barrier
+	// shades nothing but pre-values.
+	sound [numElideKinds]bool
+}
+
+// Sound reports whether the compile-time elision verdict k may be
+// applied under this flavor.
+func (sp *BarrierSpec) Sound(k ElideKind) bool {
+	if k < 0 || int(k) >= numElideKinds {
+		return false
+	}
+	return sp.sound[k]
+}
+
+// Project maps an analysis verdict to the verdict actually usable under
+// this flavor: the verdict itself when sound, ElideNone (keep the
+// barrier) otherwise. Engines project each site's verdict once — at
+// decode or compile time — so flavor soundness never costs anything on
+// the store fast path.
+func (sp *BarrierSpec) Project(k ElideKind) ElideKind {
+	if sp.Sound(k) {
+		return k
+	}
+	return ElideNone
+}
+
+// allSound: every verdict applies. The legacy SATB modes keep the full
+// verdict set so their Table 1/2 rates are bit-identical to the
+// pre-spec implementation; no-barrier and card-marking execute no
+// deletion barrier for the elision to be unsound against.
+var allSound = [numElideKinds]bool{true, true, true, true}
+
+// specs is the barrier-flavor table, indexed by BarrierMode.
+var specs = [...]BarrierSpec{
+	ModeNoBarrier: {
+		Mode: ModeNoBarrier, Name: "no-barrier",
+		SnapshotSound: false,
+		sound:         allSound,
+	},
+	ModeConditional: {
+		Mode: ModeConditional, Name: "conditional",
+		ShadesPre: true, Checked: true, SnapshotSound: true,
+		CostCheck: CostCheckOnly, CostFast: CostPreNull,
+		CostShade: CostLogged, CostShadeBoth: CostLogged,
+		sound: allSound,
+	},
+	ModeAlwaysLog: {
+		Mode: ModeAlwaysLog, Name: "always-log",
+		ShadesPre: true, SnapshotSound: true,
+		CostFast:  CostAlwaysPreNull,
+		CostShade: CostAlwaysLogged, CostShadeBoth: CostAlwaysLogged,
+		sound: allSound,
+	},
+	ModeCardMarking: {
+		Mode: ModeCardMarking, Name: "card-marking",
+		Card: true, SnapshotSound: false,
+		CostCard: CostCard,
+		sound:    allSound,
+	},
+	ModeYuasa: {
+		Mode: ModeYuasa, Name: "yuasa",
+		ShadesPre: true, Checked: true, SnapshotSound: true,
+		CostCheck: CostCheckOnly, CostFast: CostYuasa,
+		CostShade: CostYuasa, CostShadeBoth: CostYuasa,
+		// A pure deletion barrier: every proof about the overwritten
+		// value transfers — pre-null (nothing to snapshot), null-or-same
+		// (the snapshotted value is the one being stored, which stays
+		// reachable through the target), and the rearrangement
+		// trace-state protocol.
+		sound: [numElideKinds]bool{true, true, true, true},
+	},
+	ModeDijkstra: {
+		Mode: ModeDijkstra, Name: "dijkstra",
+		ShadesNew: true, Checked: true, SnapshotSound: false,
+		CostCheck: CostCheckOnly, CostFast: CostDijkstraNull,
+		CostShade: CostDijkstraShade, CostShadeBoth: CostDijkstraShade,
+		// Insertion shading is about the NEW value; proofs about the
+		// overwritten value say nothing about it. A pre-null store still
+		// installs an edge the marker must see, so no deletion-style
+		// verdict is sound.
+		sound: [numElideKinds]bool{true, false, false, false},
+	},
+	ModeHybrid: {
+		Mode: ModeHybrid, Name: "hybrid",
+		ShadesPre: true, ShadesNew: true, Checked: true, SnapshotSound: true,
+		CostCheck: CostCheckOnly, CostFast: CostHybridNull,
+		CostShade: CostHybridOne, CostShadeBoth: CostHybridBoth,
+		// Pre-null elides both halves: nothing to snapshot AND the null
+		// pre-value proof came with freshness/locality that covers the
+		// insertion half (an unmarked-since-allocation target is
+		// rescanned from its roots). Null-or-same and rearrangement only
+		// license dropping the deletion half, so the full barrier stays.
+		sound: [numElideKinds]bool{true, true, false, false},
+	},
+}
+
+// Spec returns the flavor descriptor for a mode.
+func (m BarrierMode) Spec() *BarrierSpec {
+	if m < 0 || int(m) >= len(specs) {
+		panic(fmt.Sprintf("satb: no spec for barrier mode %d", int(m)))
+	}
+	return &specs[m]
+}
+
+// AllSpecs returns every barrier flavor in deterministic (mode) order.
+func AllSpecs() []*BarrierSpec {
+	out := make([]*BarrierSpec, len(specs))
+	for i := range specs {
+		out[i] = &specs[i]
+	}
+	return out
+}
+
 // SiteStats instruments one store site.
 type SiteStats struct {
 	// Key identifies the compiled site (method × pc).
 	Key  SiteKey
 	Kind SiteKind
-	// Elide records the analysis verdict for the site.
+	// Elide records the analysis verdict for the site, already projected
+	// through the active flavor's soundness predicate.
 	Elide ElideKind
 	// Execs counts dynamic executions; PreNull counts executions whose
 	// overwritten value was null. A site with Execs == PreNull is
@@ -159,8 +349,12 @@ type Counters struct {
 
 	// Cost accumulates barrier cost units actually paid.
 	Cost uint64
-	// Logged counts SATB log entries produced.
+	// Logged counts deletion-shading log entries produced (pre-values
+	// snapshotted by the SATB/Yuasa/hybrid barriers).
 	Logged uint64
+	// Shaded counts insertion-shading events (new values greyed by the
+	// Dijkstra and hybrid barriers).
+	Shaded uint64
 	// CardsDirtied counts card-marking barrier hits.
 	CardsDirtied uint64
 	// StaticExecs counts putstatic reference stores (never elidable).
@@ -300,10 +494,14 @@ func (s Summary) String() string {
 	return b.String()
 }
 
-// Logger receives SATB pre-value log entries (the concurrent marker).
+// Logger receives barrier traffic (the concurrent marker).
 type Logger interface {
-	// LogPreValue records an overwritten non-null reference.
+	// LogPreValue records an overwritten non-null reference (deletion
+	// shading).
 	LogPreValue(r heap.Ref)
+	// Shade records a stored non-null reference (insertion shading, the
+	// Dijkstra/hybrid barriers' collector half).
+	Shade(r heap.Ref)
 	// MarkingActive reports whether a concurrent mark is in progress.
 	MarkingActive() bool
 	// DirtyCard records an incremental-update barrier hit on the object.
@@ -320,6 +518,7 @@ type Logger interface {
 type NopLogger struct{ Active bool }
 
 func (n *NopLogger) LogPreValue(heap.Ref)                  {}
+func (n *NopLogger) Shade(heap.Ref)                        {}
 func (n *NopLogger) MarkingActive() bool                   { return n.Active }
 func (n *NopLogger) DirtyCard(r heap.Ref)                  {}
 func (n *NopLogger) TraceStateOf(heap.Ref) heap.TraceState { return heap.TraceUntraced }
@@ -329,19 +528,61 @@ func (n *NopLogger) Retrace(heap.Ref)                      {}
 // so cost-model comparisons stay monotone under pathological run lengths.
 func (c *Counters) addCost(units uint64) { c.Cost = num.AddSat(c.Cost, units) }
 
+// shadeBody executes the non-card barrier body: gate on the marking
+// phase (Checked flavors), then shade whichever of pre/newVal the spec
+// keeps alive. Unchecked flavors pay body cost and count log entries
+// even outside marking, but deliver entries only while it is active
+// (always-log semantics, §4.5).
+func (c *Counters) shadeBody(sp *BarrierSpec, log Logger, pre, newVal heap.Ref) {
+	active := log.MarkingActive()
+	if sp.Checked && !active {
+		c.addCost(sp.CostCheck)
+		return
+	}
+	shadePre := sp.ShadesPre && pre != heap.Null
+	shadeNew := sp.ShadesNew && newVal != heap.Null
+	switch {
+	case shadePre && shadeNew:
+		c.addCost(sp.CostShadeBoth)
+	case shadePre || shadeNew:
+		c.addCost(sp.CostShade)
+	default:
+		c.addCost(sp.CostFast)
+	}
+	if shadePre {
+		c.Logged++
+		if active {
+			log.LogPreValue(pre)
+		}
+	}
+	if shadeNew {
+		c.Shaded++
+		if active {
+			log.Shade(newVal)
+		}
+	}
+}
+
 // Barrier executes the write barrier for a reference store of newVal whose
 // overwritten value was pre. elide reflects the compile-time analysis
-// verdict for the site; the instrumentation still observes elided stores
-// (to validate soundness and compute the pre-null upper bound) but pays no
+// verdict for the site, already projected through the flavor's soundness
+// predicate; the instrumentation still observes elided stores (to
+// validate soundness and compute the pre-null upper bound) but pays no
 // barrier cost for them.
 func (c *Counters) Barrier(mode BarrierMode, log Logger, key SiteKey, kind SiteKind, elide ElideKind, pre, newVal, target heap.Ref) {
-	c.BarrierSite(mode, log, c.Site(key, kind, elide), elide, pre, newVal, target)
+	c.BarrierSiteSpec(mode.Spec(), log, c.Site(key, kind, elide), elide, pre, newVal, target)
 }
 
 // BarrierSite is Barrier with the site's stats record already resolved.
 // The pre-decoded VM engine resolves each store site once at decode time
 // and calls this directly, removing the per-execution map lookup.
 func (c *Counters) BarrierSite(mode BarrierMode, log Logger, s *SiteStats, elide ElideKind, pre, newVal, target heap.Ref) {
+	c.BarrierSiteSpec(mode.Spec(), log, s, elide, pre, newVal, target)
+}
+
+// BarrierSiteSpec is the spec-driven barrier entry point all flavors
+// share.
+func (c *Counters) BarrierSiteSpec(sp *BarrierSpec, log Logger, s *SiteStats, elide ElideKind, pre, newVal, target heap.Ref) {
 	s.Execs++
 	if pre == heap.Null {
 		s.PreNull++
@@ -350,18 +591,22 @@ func (c *Counters) BarrierSite(mode BarrierMode, log Logger, s *SiteStats, elide
 		s.NullOrSame++
 	}
 	if elide == ElideRearrange {
-		// The rearrangement protocol replaces logging with a trace-state
-		// check; overlap with the collector's scan schedules a retrace.
-		// Under card marking the site degrades to a normal card store.
-		if mode == ModeCardMarking {
-			c.addCost(CostCard)
+		// The rearrangement protocol replaces deletion logging with a
+		// trace-state check; overlap with the collector's scan schedules
+		// a retrace. Under card marking the site degrades to a normal
+		// card store.
+		if sp.Card {
+			c.addCost(sp.CostCard)
 			c.CardsDirtied++
 			log.DirtyCard(target)
 			return
 		}
-		if mode == ModeNoBarrier || !log.MarkingActive() {
-			if mode == ModeConditional {
-				c.addCost(CostCheckOnly)
+		if !sp.ShadesPre && !sp.ShadesNew {
+			return
+		}
+		if !log.MarkingActive() {
+			if sp.Checked {
+				c.addCost(sp.CostCheck)
 			}
 			return
 		}
@@ -376,67 +621,36 @@ func (c *Counters) BarrierSite(mode BarrierMode, log Logger, s *SiteStats, elide
 	if elide != ElideNone {
 		return
 	}
-	switch mode {
-	case ModeNoBarrier:
-	case ModeConditional:
-		if !log.MarkingActive() {
-			c.addCost(CostCheckOnly)
-			return
-		}
-		if pre == heap.Null {
-			c.addCost(CostPreNull)
-			return
-		}
-		c.addCost(CostLogged)
-		c.Logged++
-		log.LogPreValue(pre)
-	case ModeAlwaysLog:
-		if pre == heap.Null {
-			c.addCost(CostAlwaysPreNull)
-			return
-		}
-		c.addCost(CostAlwaysLogged)
-		c.Logged++
-		if log.MarkingActive() {
-			log.LogPreValue(pre)
-		}
-	case ModeCardMarking:
-		c.addCost(CostCard)
+	if sp.Card {
+		c.addCost(sp.CostCard)
 		c.CardsDirtied++
 		log.DirtyCard(target)
+		return
 	}
+	if !sp.ShadesPre && !sp.ShadesNew {
+		return
+	}
+	c.shadeBody(sp, log, pre, newVal)
 }
 
-// StaticBarrier handles putstatic reference stores (always logged; the
+// StaticBarrier handles putstatic reference stores (always kept; the
 // analyses never elide them).
-func (c *Counters) StaticBarrier(mode BarrierMode, log Logger, pre heap.Ref) {
+func (c *Counters) StaticBarrier(mode BarrierMode, log Logger, pre, newVal heap.Ref) {
+	c.StaticBarrierSpec(mode.Spec(), log, pre, newVal)
+}
+
+// StaticBarrierSpec is the spec-driven putstatic barrier. Statics have
+// no per-object card, so the card flavor pays cost and counts the hit
+// without dirtying.
+func (c *Counters) StaticBarrierSpec(sp *BarrierSpec, log Logger, pre, newVal heap.Ref) {
 	c.StaticExecs++
-	switch mode {
-	case ModeNoBarrier:
-	case ModeConditional:
-		if !log.MarkingActive() {
-			c.addCost(CostCheckOnly)
-			return
-		}
-		if pre == heap.Null {
-			c.addCost(CostPreNull)
-			return
-		}
-		c.addCost(CostLogged)
-		c.Logged++
-		log.LogPreValue(pre)
-	case ModeAlwaysLog:
-		if pre == heap.Null {
-			c.addCost(CostAlwaysPreNull)
-			return
-		}
-		c.addCost(CostAlwaysLogged)
-		c.Logged++
-		if log.MarkingActive() {
-			log.LogPreValue(pre)
-		}
-	case ModeCardMarking:
-		c.addCost(CostCard)
+	if sp.Card {
+		c.addCost(sp.CostCard)
 		c.CardsDirtied++
+		return
 	}
+	if !sp.ShadesPre && !sp.ShadesNew {
+		return
+	}
+	c.shadeBody(sp, log, pre, newVal)
 }

@@ -9,12 +9,14 @@ import (
 type recordingLogger struct {
 	active   bool
 	logged   []heap.Ref
+	shaded   []heap.Ref
 	dirtied  []heap.Ref
 	retraced []heap.Ref
 	state    heap.TraceState
 }
 
 func (r *recordingLogger) LogPreValue(x heap.Ref)                { r.logged = append(r.logged, x) }
+func (r *recordingLogger) Shade(x heap.Ref)                      { r.shaded = append(r.shaded, x) }
 func (r *recordingLogger) MarkingActive() bool                   { return r.active }
 func (r *recordingLogger) DirtyCard(x heap.Ref)                  { r.dirtied = append(r.dirtied, x) }
 func (r *recordingLogger) TraceStateOf(heap.Ref) heap.TraceState { return r.state }
@@ -154,7 +156,7 @@ func TestSummaryFlagsUnsoundElision(t *testing.T) {
 func TestStaticBarrier(t *testing.T) {
 	c := NewCounters()
 	log := &recordingLogger{active: true}
-	c.StaticBarrier(ModeConditional, log, heap.Ref(2))
+	c.StaticBarrier(ModeConditional, log, heap.Ref(2), heap.Ref(3))
 	if c.StaticExecs != 1 || c.Logged != 1 {
 		t.Errorf("statics: execs=%d logged=%d", c.StaticExecs, c.Logged)
 	}
@@ -220,25 +222,25 @@ func TestRearrangeBarrierProtocol(t *testing.T) {
 func TestStaticBarrierAllModes(t *testing.T) {
 	c := NewCounters()
 	log := &recordingLogger{}
-	c.StaticBarrier(ModeNoBarrier, log, heap.Ref(1))
+	c.StaticBarrier(ModeNoBarrier, log, heap.Ref(1), heap.Ref(2))
 	if c.Cost != 0 {
 		t.Error("no-barrier static must be free")
 	}
-	c.StaticBarrier(ModeConditional, log, heap.Ref(1)) // marking off
+	c.StaticBarrier(ModeConditional, log, heap.Ref(1), heap.Ref(2)) // marking off
 	if c.Cost != CostCheckOnly {
 		t.Errorf("cost = %d", c.Cost)
 	}
 	log.active = true
-	c.StaticBarrier(ModeConditional, log, heap.Null)
+	c.StaticBarrier(ModeConditional, log, heap.Null, heap.Ref(2))
 	if c.Cost != CostCheckOnly+CostPreNull {
 		t.Errorf("cost = %d", c.Cost)
 	}
-	c.StaticBarrier(ModeAlwaysLog, log, heap.Null)
-	c.StaticBarrier(ModeAlwaysLog, log, heap.Ref(2))
+	c.StaticBarrier(ModeAlwaysLog, log, heap.Null, heap.Ref(2))
+	c.StaticBarrier(ModeAlwaysLog, log, heap.Ref(2), heap.Ref(3))
 	if c.Logged != 1 || len(log.logged) != 1 {
 		t.Errorf("always-log statics: logged=%d", c.Logged)
 	}
-	c.StaticBarrier(ModeCardMarking, log, heap.Ref(2))
+	c.StaticBarrier(ModeCardMarking, log, heap.Ref(2), heap.Ref(3))
 	if c.CardsDirtied != 1 {
 		t.Error("card static")
 	}

@@ -251,6 +251,8 @@ func (s *Server) process(ctx context.Context, slot int, name string, req *Reques
 		s.tierUps.Add(int64(res.TierUps))
 		s.tierDeopts.Add(res.TierDeopts)
 		s.tierSegExecs.Add(res.TierSegExecs)
+		s.logged.Add(int64(res.Counters.Logged))
+		s.shaded.Add(int64(res.Counters.Shaded))
 		doc.Run = report.NewRunSummary(req.Name, res)
 	}
 	return http.StatusOK, outcome, nil

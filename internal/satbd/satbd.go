@@ -123,6 +123,11 @@ type Server struct {
 	tierUps      atomic.Int64
 	tierDeopts   atomic.Int64
 	tierSegExecs atomic.Int64
+
+	// Barrier traffic across /run requests: deletion-side log entries
+	// and insertion-side shade events.
+	logged atomic.Int64
+	shaded atomic.Int64
 }
 
 // New builds a Server from cfg (zero-value fields take defaults).
@@ -178,6 +183,9 @@ func (s *Server) Stats() report.SatbdStats {
 		TierUps:      s.tierUps.Load(),
 		TierDeopts:   s.tierDeopts.Load(),
 		TierSegExecs: s.tierSegExecs.Load(),
+
+		Logged: s.logged.Load(),
+		Shaded: s.shaded.Load(),
 	}
 }
 

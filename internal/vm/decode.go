@@ -228,8 +228,10 @@ type dprogram struct {
 // decodeProgram translates a program into the dense executable form. Any
 // unresolvable operand fails the whole decode; the caller then falls back
 // to the switch interpreter, which reports such programs with its usual
-// runtime errors.
-func decodeProgram(p *bytecode.Program, layout *heap.Layout) (*dprogram, error) {
+// runtime errors. project maps each store's analysis verdict to the
+// verdict used at runtime (the barrier flavor's soundness projection) —
+// it runs once per site here, keeping flavor logic off the dispatch path.
+func decodeProgram(p *bytecode.Program, layout *heap.Layout, project func(*bytecode.Instr) satb.ElideKind) (*dprogram, error) {
 	mm := p.Method(p.Main)
 	if mm == nil {
 		return nil, fmt.Errorf("vm: no main method %s", p.Main)
@@ -247,7 +249,7 @@ func decodeProgram(p *bytecode.Program, layout *heap.Layout) (*dprogram, error) 
 		}
 	}
 	for _, m := range methods {
-		if err := d.decodeMethod(p, layout, d.methods[m]); err != nil {
+		if err := d.decodeMethod(p, layout, d.methods[m], project); err != nil {
 			return nil, err
 		}
 	}
@@ -264,7 +266,7 @@ func i32(v int64) (int32, error) {
 }
 
 // decodeMethod fills in dm.code and the operand tables.
-func (d *dprogram) decodeMethod(p *bytecode.Program, layout *heap.Layout, dm *dmethod) error {
+func (d *dprogram) decodeMethod(p *bytecode.Program, layout *heap.Layout, dm *dmethod, project func(*bytecode.Instr) satb.ElideKind) error {
 	m := dm.src
 	dm.code = make([]dinstr, len(m.Code))
 	for pc := range m.Code {
@@ -361,7 +363,7 @@ func (d *dprogram) decodeMethod(p *bytecode.Program, layout *heap.Layout, dm *dm
 				di.op = dGetFieldInt
 			case isRef:
 				di.op = dPutFieldRef
-				di.b = dm.addSite(pc, satb.FieldSite, elideKind(in))
+				di.b = dm.addSite(pc, satb.FieldSite, project(in))
 			default:
 				di.op = dPutFieldInt
 			}
@@ -410,7 +412,7 @@ func (d *dprogram) decodeMethod(p *bytecode.Program, layout *heap.Layout, dm *dm
 			di.op = dIALoad
 		case bytecode.OpAAStore:
 			di.op = dAAStore
-			di.b = dm.addSite(pc, satb.ArraySite, elideKind(in))
+			di.b = dm.addSite(pc, satb.ArraySite, project(in))
 		case bytecode.OpIAStore:
 			di.op = dIAStore
 		case bytecode.OpInvoke, bytecode.OpSpawn:

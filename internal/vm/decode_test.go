@@ -13,7 +13,7 @@ import (
 // at each fused head pc of the main method.
 func fusedOpsByHead(t *testing.T, p *bytecode.Program) map[int]dop {
 	t.Helper()
-	d, err := decodeProgram(p, heap.NewLayout(p))
+	d, err := decodeProgram(p, heap.NewLayout(p), elideKind)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}

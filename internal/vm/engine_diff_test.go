@@ -168,6 +168,84 @@ func TestEngineDifferentialWorkloads(t *testing.T) {
 	}
 }
 
+// TestEngineDifferentialFlavorMatrix sweeps the new barrier flavors
+// (yuasa, dijkstra, hybrid) across every safe collector pairing and
+// oracle on/off, on all three engines, with the full analysis enabled.
+// Every flavor must be bit-identical across engines; the projection of
+// analysis verdicts through each flavor's soundness predicate happens
+// per-engine (decode-time for fused/compiled, per-store for switch), so
+// this is the test that a projection bug in any one path cannot hide.
+func TestEngineDifferentialFlavorMatrix(t *testing.T) {
+	analysis := core.Options{Mode: core.ModeFieldArray, NullOrSame: true, Rearrange: true}
+	pairings := []struct {
+		mode satb.BarrierMode
+		gc   vm.GCKind
+	}{
+		{satb.ModeYuasa, vm.GCNone},
+		{satb.ModeYuasa, vm.GCSATB},
+		{satb.ModeDijkstra, vm.GCNone},
+		{satb.ModeDijkstra, vm.GCSATB},
+		{satb.ModeDijkstra, vm.GCIncremental},
+		{satb.ModeHybrid, vm.GCNone},
+		{satb.ModeHybrid, vm.GCSATB},
+		{satb.ModeHybrid, vm.GCIncremental},
+	}
+	gcName := map[vm.GCKind]string{vm.GCNone: "none", vm.GCSATB: "satb", vm.GCIncremental: "inc"}
+	for _, w := range workloads.All() {
+		bd, err := pipeline.Compile(w.Name, w.Source, pipeline.Options{
+			InlineLimit: 100,
+			Analysis:    analysis,
+		})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", w.Name, err)
+		}
+		for _, pr := range pairings {
+			for _, oracle := range []bool{false, true} {
+				name := w.Name + "/" + pr.mode.String() + "/" + gcName[pr.gc]
+				if oracle {
+					name += "/oracle"
+				}
+				t.Run(name, func(t *testing.T) {
+					cfg := vm.Config{
+						Barrier:            pr.mode,
+						GC:                 pr.gc,
+						TriggerEveryAllocs: 64,
+						// Armed only on snapshot-sound flavors (yuasa,
+						// hybrid); a no-op with GC off.
+						CheckInvariant: true,
+						CheckElisions:  oracle,
+					}
+					fused := runEngine(t, bd, cfg, vm.EngineFused)
+					sw := runEngine(t, bd, cfg, vm.EngineSwitch)
+					comp := runEngine(t, bd, cfg, vm.EngineCompiled)
+					assertIdentical(t, fused, sw, "fused", "switch")
+					assertIdentical(t, comp, fused, "compiled", "fused")
+					if oracle {
+						// Dijkstra projects every deletion-side verdict
+						// away, so the oracle has nothing to validate;
+						// the deletion-capable flavors must validate the
+						// kept subset.
+						if pr.mode == satb.ModeDijkstra && fused.ElisionChecks != 0 {
+							t.Errorf("dijkstra validated %d elisions, want 0 (all verdicts projected)", fused.ElisionChecks)
+						}
+						if pr.mode != satb.ModeDijkstra && fused.ElisionChecks == 0 {
+							t.Error("oracle ran but validated no elided stores")
+						}
+					}
+					s := fused.Counters.Summarize()
+					if len(s.UnsoundSites) > 0 {
+						t.Errorf("unsound sites under %s: %v", pr.mode, s.UnsoundSites)
+					}
+					if pr.mode == satb.ModeDijkstra && s.ElidedExecs+s.NullOrSameExecs+s.RearrangeExecs != 0 {
+						t.Errorf("dijkstra executed elided sites (prenull=%d nos=%d rearr=%d), projection leaked",
+							s.ElidedExecs, s.NullOrSameExecs, s.RearrangeExecs)
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestEngineDifferentialQuantumBoundaries stresses boundary gating at
 // scheduler quantum ends: tiny odd quanta force fused superinstructions
 // and whole compiled segments to straddle quantum ends and fall back to

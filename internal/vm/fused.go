@@ -74,7 +74,7 @@ func (v *VM) refStoreBarrier(t *fthread, f *fframe, pc int, kind satb.SiteKind, 
 	if rec.stats == nil {
 		rec.stats = v.counters.Site(rec.key, rec.kind, rec.elide)
 	}
-	v.counters.BarrierSite(v.cfg.Barrier, v.logger(), rec.stats, rec.elide, pre, newR, target)
+	v.counters.BarrierSiteSpec(v.spec, v.logger(), rec.stats, rec.elide, pre, newR, target)
 	return nil
 }
 
@@ -280,7 +280,7 @@ func (v *VM) stepFused(t *fthread, f *fframe, in *dinstr) error {
 			// everything it reaches) is published.
 			v.oracle.escape(val.R)
 		}
-		v.counters.StaticBarrier(v.cfg.Barrier, v.logger(), old.R)
+		v.counters.StaticBarrierSpec(v.spec, v.logger(), old.R, val.R)
 	case dPutStaticInt:
 		v.heap.SetStatic(f.m.statics[in.a].ref, f.pop())
 

@@ -67,12 +67,15 @@ type objMeta struct {
 type oracle struct {
 	h    *heap.Heap
 	meta map[heap.Ref]*objMeta
+	// spec is the run's barrier flavor: verdicts its soundness predicate
+	// rejects must never reach an executing store.
+	spec *satb.BarrierSpec
 	// checks counts elided-store executions validated.
 	checks int64
 }
 
-func newOracle(h *heap.Heap) *oracle {
-	return &oracle{h: h, meta: map[heap.Ref]*objMeta{}}
+func newOracle(h *heap.Heap, spec *satb.BarrierSpec) *oracle {
+	return &oracle{h: h, meta: map[heap.Ref]*objMeta{}, spec: spec}
 }
 
 // noteAlloc records the allocation site and owning thread of a new object.
@@ -124,6 +127,15 @@ func (o *oracle) checkStore(method string, pc, line, tid int, site satb.SiteKind
 		}
 	}
 	var err error
+	if elide != satb.ElideNone && !o.spec.Sound(elide) {
+		// Engines project every verdict through the flavor's soundness
+		// predicate before executing with it; reaching here means a
+		// cross-flavor elision leaked through (or Config.ForceRawElide
+		// bypassed projection in a test).
+		o.checks++
+		return violation(fmt.Sprintf("%s elision is unsound under the %s barrier flavor",
+			elideName(elide), o.spec.Name))
+	}
 	switch elide {
 	case satb.ElidePreNull:
 		o.checks++

@@ -771,18 +771,23 @@ func (v *VM) compileSeg(dm *dmethod, cm *cmethod, si int32, seg *cseg, blocks []
 }
 
 // compileBarrier bakes one store site's barrier decision into a closure.
-// This is the tier's reason to exist: a site the analysis proved elidable
-// (pre-null or null-or-same) compiles to its instrumentation counters and
-// nothing else — no mode switch, no marking-phase check, no logger — and
-// under ModeNoBarrier every site drops to the same raw path. Kept and
-// rearrangement barriers route through the shared satb.BarrierSite so
-// cost, logging, and card accounting stay bit-identical to the other
-// engines. Site statistics stay lazily resolved so never-executed sites
-// leave no trace, exactly like the fused engine.
+// This is the tier's reason to exist: a site whose (flavor-projected)
+// verdict is pre-null or null-or-same compiles to its instrumentation
+// counters and nothing else — no spec dispatch, no marking-phase check,
+// no logger — and under a flavor that shades nothing (no-barrier) every
+// site drops to the same raw path. The site verdicts were projected
+// through the flavor's soundness predicate at decode time, so a verdict
+// the flavor cannot honor never reaches the raw path. Kept and
+// rearrangement barriers route through the shared satb.BarrierSiteSpec
+// so cost, logging, shading, and card accounting stay bit-identical to
+// the other engines. Site statistics stay lazily resolved so
+// never-executed sites leave no trace, exactly like the fused engine.
 func (v *VM) compileBarrier(dm *dmethod, siteIdx int32) func(pre, newR, target heap.Ref) {
 	rec := &dm.sites[siteIdx]
 	counters := v.counters
-	if rec.elide == satb.ElidePreNull || rec.elide == satb.ElideNullOrSame || v.cfg.Barrier == satb.ModeNoBarrier {
+	spec := v.spec
+	if rec.elide == satb.ElidePreNull || rec.elide == satb.ElideNullOrSame ||
+		(!spec.ShadesPre && !spec.ShadesNew && !spec.Card) {
 		return func(pre, newR, target heap.Ref) {
 			st := rec.stats
 			if st == nil {
@@ -798,7 +803,6 @@ func (v *VM) compileBarrier(dm *dmethod, siteIdx int32) func(pre, newR, target h
 			}
 		}
 	}
-	mode := v.cfg.Barrier
 	log := v.logger()
 	return func(pre, newR, target heap.Ref) {
 		st := rec.stats
@@ -806,7 +810,7 @@ func (v *VM) compileBarrier(dm *dmethod, siteIdx int32) func(pre, newR, target h
 			st = counters.Site(rec.key, rec.kind, rec.elide)
 			rec.stats = st
 		}
-		counters.BarrierSite(mode, log, st, rec.elide, pre, newR, target)
+		counters.BarrierSiteSpec(spec, log, st, rec.elide, pre, newR, target)
 	}
 }
 
@@ -1341,7 +1345,7 @@ func (v *VM) putStaticOp(dm *dmethod, in *dinstr, val thunk) cop {
 			return nil
 		}
 	}
-	mode := v.cfg.Barrier
+	spec := v.spec
 	log := v.logger()
 	if slot == nil {
 		return func(t *fthread, f *fframe) error {
@@ -1350,7 +1354,7 @@ func (v *VM) putStaticOp(dm *dmethod, in *dinstr, val thunk) cop {
 				return err
 			}
 			old := v.heap.SetStatic(ref, valv)
-			v.counters.StaticBarrier(mode, log, old.R)
+			v.counters.StaticBarrierSpec(spec, log, old.R, valv.R)
 			return nil
 		}
 	}
@@ -1361,7 +1365,7 @@ func (v *VM) putStaticOp(dm *dmethod, in *dinstr, val thunk) cop {
 		}
 		old := *slot
 		*slot = valv
-		v.counters.StaticBarrier(mode, log, old.R)
+		v.counters.StaticBarrierSpec(spec, log, old.R, valv.R)
 		return nil
 	}
 }

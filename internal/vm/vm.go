@@ -116,7 +116,11 @@ type Config struct {
 	// MaxSteps bounds total executed instructions (0 = default bound).
 	MaxSteps int64
 	// CheckInvariant records a snapshot at each mark start and verifies
-	// the SATB reachability invariant at each mark end.
+	// the SATB reachability invariant at each mark end. Armed only for
+	// snapshot-sound barrier flavors (see satb.BarrierSpec.SnapshotSound):
+	// an insertion-only barrier keeps live objects reachable but does not
+	// maintain the mark-start snapshot, so the check would reject correct
+	// runs.
 	CheckInvariant bool
 	// ForceMarkingAlways keeps a marking cycle permanently active
 	// (starting a new cycle as soon as one finishes).
@@ -139,6 +143,12 @@ type Config struct {
 	// non-production knob for deopt testing and chaos runs; results stay
 	// bit-identical because fused dispatch is the tier's deopt target.
 	TierForceDeoptAfter int64
+	// ForceRawElide bypasses the barrier flavor's soundness projection
+	// and applies every analysis verdict as-is — deliberately unsound
+	// under flavors whose spec rejects a verdict. A testing-only knob:
+	// the per-flavor oracle violation tests use it to prove the oracle
+	// catches cross-flavor elisions.
+	ForceRawElide bool
 }
 
 // Result summarizes a run.
@@ -161,6 +171,9 @@ type Result struct {
 	// ("fused", "switch", or "compiled"); informational only, never part
 	// of the semantics.
 	Engine string
+	// Flavor names the barrier flavor the run executed under
+	// (satb.BarrierSpec.Name).
+	Flavor string
 	// TierUps counts methods translated to the compiled tier during this
 	// run; TierDeopts counts fallbacks from compiled code to fused
 	// dispatch (quantum-tail, step-budget, or forced deopts); TierSegExecs
@@ -215,6 +228,13 @@ type VM struct {
 	threads  []*thread
 	output   []int64
 	oracle   *oracle
+
+	// spec is the resolved barrier-flavor descriptor for cfg.Barrier; all
+	// engines consult it for costs, shading, and verdict projection.
+	// checkInv is CheckInvariant gated on the flavor maintaining the
+	// snapshot at all.
+	spec     *satb.BarrierSpec
+	checkInv bool
 
 	// dprog is the pre-decoded program (nil when the switch engine is
 	// selected or the program could not be decoded); fthreads are the
@@ -279,7 +299,9 @@ func New(p *bytecode.Program, cfg Config) *VM {
 		counters:      satb.NewCounters(),
 		maxSteps:      cfg.MaxSteps,
 		tierThreshold: cfg.TierThreshold,
+		spec:          cfg.Barrier.Spec(),
 	}
+	v.checkInv = cfg.CheckInvariant && v.spec.SnapshotSound
 	switch cfg.GC {
 	case GCSATB:
 		v.marker = gc.NewSATB(v.heap)
@@ -287,19 +309,32 @@ func New(p *bytecode.Program, cfg Config) *VM {
 		v.marker = gc.NewInc(v.heap)
 	}
 	if cfg.CheckElisions {
-		v.oracle = newOracle(v.heap)
+		v.oracle = newOracle(v.heap, v.spec)
 	}
 	if cfg.Engine != EngineSwitch {
 		// Decode failures (unresolved refs, missing main) fall back to the
 		// switch interpreter, which reports them as runtime errors.
 		sp := obs.StartSpan("main", "pipeline", "decode")
-		d, err := decodeProgram(p, v.heap.Layout())
+		d, err := decodeProgram(p, v.heap.Layout(), v.projectElide)
 		if err == nil {
 			v.dprog = d
 		}
 		sp.EndArgs(obs.KV{K: "ok", V: b2i(err == nil)})
 	}
 	return v
+}
+
+// projectElide maps an instruction's analysis verdict through the barrier
+// flavor's soundness predicate: verdicts the flavor cannot honor keep
+// their barrier. Engines call it once per site — at decode/compile time
+// or per switch-interpreter store — so flavor soundness costs nothing on
+// the decoded fast paths.
+func (v *VM) projectElide(in *bytecode.Instr) satb.ElideKind {
+	k := elideKind(in)
+	if v.cfg.ForceRawElide {
+		return k
+	}
+	return v.spec.Project(k)
 }
 
 // EngineUsed reports the engine this VM actually executes with (the fused
@@ -408,6 +443,7 @@ func (v *VM) publishObs(ok bool) {
 	}
 	obs.Count("vm.barrier.cost", int64(v.counters.Cost))
 	obs.Count("vm.barrier.logged", int64(v.counters.Logged))
+	obs.Count("vm.barrier.shaded", int64(v.counters.Shaded))
 	obs.Count("vm.barrier.cards_dirtied", int64(v.counters.CardsDirtied))
 	obs.Count("vm.barrier.static_execs", int64(v.counters.StaticExecs))
 	// Per-site barrier hit/elide counts, keyed by method and pc so every
@@ -428,6 +464,12 @@ func (v *VM) publishObs(ok bool) {
 	obs.Count("vm.barrier.elided_execs", int64(sum.ElidedExecs))
 	obs.Count("vm.barrier.null_or_same_execs", int64(sum.NullOrSameExecs))
 	obs.Count("vm.barrier.rearrange_execs", int64(sum.RearrangeExecs))
+	// Per-flavor counters: one run uses one flavor, so these aggregate
+	// cleanly across runs of different flavors (satbd /metrics, traced
+	// multi-config benchmarks).
+	obs.Count("vm.barrier.flavor."+v.spec.Name+".execs", int64(sum.TotalExecs))
+	obs.Count("vm.barrier.flavor."+v.spec.Name+".logged", int64(v.counters.Logged))
+	obs.Count("vm.barrier.flavor."+v.spec.Name+".shaded", int64(v.counters.Shaded))
 }
 
 // threadSpan opens a lane span covering one VM thread's lifetime (inert
@@ -492,6 +534,7 @@ func (v *VM) result() *Result {
 		Allocated:      v.heap.Allocated,
 		Swept:          v.swept,
 		Engine:         v.EngineUsed().String(),
+		Flavor:         v.spec.Name,
 		TierUps:        v.tierUps,
 		TierDeopts:     v.tierDeopts,
 		TierSegExecs:   v.tierSegExecs,
@@ -546,7 +589,7 @@ func (v *VM) roots() []heap.Ref {
 // startCycle begins a marking cycle.
 func (v *VM) startCycle() {
 	v.cycleSpan = obs.StartSpan("vm/gc", "gc", "mark-cycle")
-	v.marker.Start(v.roots(), v.cfg.CheckInvariant)
+	v.marker.Start(v.roots(), v.checkInv)
 	v.allocSinceGC = 0
 }
 
@@ -554,7 +597,7 @@ func (v *VM) startCycle() {
 func (v *VM) finishCycle() {
 	v.finalPauseWork += v.marker.Finish(v.roots())
 	v.cycles++
-	if v.cfg.CheckInvariant {
+	if v.checkInv {
 		if m, ok := v.marker.(*gc.SATBMarker); ok {
 			if err := m.CheckSnapshotInvariant(); err != nil {
 				panic(err) // soundness bug: tests convert via recover
@@ -782,14 +825,15 @@ func (v *VM) step(t *thread) error {
 			return v.errf(f, "%v", err)
 		}
 		if v.prog.FieldType(in.Field).IsRef() {
+			elide := v.projectElide(in)
 			if v.oracle != nil {
-				if err := v.oracle.checkStore(f.m.QualifiedName(), f.pc, in.Line, t.id, satb.FieldSite, elideKind(in), old.R, val.R, obj.R); err != nil {
+				if err := v.oracle.checkStore(f.m.QualifiedName(), f.pc, in.Line, t.id, satb.FieldSite, elide, old.R, val.R, obj.R); err != nil {
 					return err
 				}
 			}
 			key := satb.SiteKey{Method: f.m.QualifiedName(), PC: f.pc}
-			v.counters.Barrier(v.cfg.Barrier, v.logger(), key, satb.FieldSite,
-				elideKind(in), old.R, val.R, obj.R)
+			v.counters.BarrierSiteSpec(v.spec, v.logger(), v.counters.Site(key, satb.FieldSite, elide),
+				elide, old.R, val.R, obj.R)
 		}
 	case bytecode.OpGetStatic:
 		val := v.heap.GetStatic(in.Field)
@@ -806,7 +850,7 @@ func (v *VM) step(t *thread) error {
 				// everything it reaches) is published.
 				v.oracle.escape(val.R)
 			}
-			v.counters.StaticBarrier(v.cfg.Barrier, v.logger(), old.R)
+			v.counters.StaticBarrierSpec(v.spec, v.logger(), old.R, val.R)
 		}
 
 	case bytecode.OpNewInstance:
@@ -869,14 +913,15 @@ func (v *VM) step(t *thread) error {
 		if err != nil {
 			return v.errf(f, "%v", err)
 		}
+		elide := v.projectElide(in)
 		if v.oracle != nil {
-			if err := v.oracle.checkStore(f.m.QualifiedName(), f.pc, in.Line, t.id, satb.ArraySite, elideKind(in), old.R, val.R, arr.R); err != nil {
+			if err := v.oracle.checkStore(f.m.QualifiedName(), f.pc, in.Line, t.id, satb.ArraySite, elide, old.R, val.R, arr.R); err != nil {
 				return err
 			}
 		}
 		key := satb.SiteKey{Method: f.m.QualifiedName(), PC: f.pc}
-		v.counters.Barrier(v.cfg.Barrier, v.logger(), key, satb.ArraySite,
-			elideKind(in), old.R, val.R, arr.R)
+		v.counters.BarrierSiteSpec(v.spec, v.logger(), v.counters.Site(key, satb.ArraySite, elide),
+			elide, old.R, val.R, arr.R)
 	case bytecode.OpIAStore:
 		val := pop()
 		idx := pop().I
