@@ -55,6 +55,7 @@ func main() {
 	rearr := flag.Bool("rearrange", false, "§4.3 array-rearrangement measurements")
 	barriers := flag.Bool("barriers", false, "cross-flavor barrier matrix (yuasa/dijkstra/hybrid/... elimination and cost per workload)")
 	interp := flag.Bool("interprocedural", false, "escape-summary recovery at inline limit 0")
+	interpAlias := flag.Bool("interproc", false, "alias for -interprocedural")
 	perf := flag.Bool("perf", false, "compile-side performance snapshot (stage times, block visits)")
 	vmperf := flag.Bool("vmperf", false, "VM execution-engine performance (compiled vs fused vs switch: instr/s, ns/instr, allocs/op, tier counters)")
 	oracle := flag.Bool("oracle", false, "soundness oracle: validate every elided store at runtime")
@@ -69,6 +70,9 @@ func main() {
 
 	if *strict {
 		*oracle = true
+	}
+	if *interpAlias {
+		*interp = true
 	}
 	if *all {
 		*t1, *t2, *f2, *f3, *nos, *rearr, *barriers, *interp, *perf, *vmperf, *oracle = true, true, true, true, true, true, true, true, true, true, true

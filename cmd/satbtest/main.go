@@ -15,7 +15,8 @@
 // usage. The -unsound-skip-b-demotion flag injects a known soundness bug
 // into the analysis (skipping the R/A→R/B allocation-site demotion) so
 // the harness itself can be validated end-to-end: a campaign under that
-// flag MUST fail.
+// flag MUST fail. -unsound-trust-all-summaries does the same for the
+// interprocedural layer (summaries trusted after one optimistic round).
 package main
 
 import (
@@ -45,8 +46,11 @@ func main() {
 	mode := flag.String("mode", "A", "analysis mode: B, F, or A")
 	nullOrSame := flag.Bool("nullorsame", false, "enable the null-or-same extension")
 	maxFailures := flag.Int("max-failures", 10, "stop the campaign after this many failures")
+	interproc := flag.Bool("interproc", false, "enable interprocedural method summaries")
 	injectSkipB := flag.Bool("unsound-skip-b-demotion", false,
 		"inject a known soundness bug (skip the R/A->R/B demotion) to validate the harness")
+	injectTrustAll := flag.Bool("unsound-trust-all-summaries", false,
+		"inject a known soundness bug (trust cyclic-SCC summaries after one round; implies -interproc) to validate the harness")
 	var ob cli.Obs
 	ob.RegisterFlags()
 	flag.Parse()
@@ -68,9 +72,11 @@ func main() {
 		fatal(err)
 	}
 	analysis := core.Options{
-		Mode:                 am,
-		NullOrSame:           *nullOrSame,
-		UnsoundSkipBDemotion: *injectSkipB,
+		Mode:                     am,
+		NullOrSame:               *nullOrSame,
+		Interprocedural:          *interproc || *injectTrustAll,
+		UnsoundSkipBDemotion:     *injectSkipB,
+		UnsoundTrustAllSummaries: *injectTrustAll,
 	}
 	var propNames []string
 	if *props != "" {

@@ -34,6 +34,7 @@ func main() {
 	inlineLimit := flag.Int("inline", 100, "inline limit in bytecode bytes")
 	mode := flag.String("mode", "A", "analysis mode: B, F, or A")
 	nullOrSame := flag.Bool("nullorsame", false, "enable the null-or-same extension")
+	interproc := flag.Bool("interproc", false, "enable interprocedural method summaries")
 	barrier := flag.String("barrier", "conditional", "barrier flavor: none, conditional, alwayslog, card, yuasa, dijkstra, hybrid")
 	gcKind := flag.String("gc", "none", "collector: none, satb, inc")
 	trigger := flag.Int64("gc-trigger", 200, "allocations between marking cycles")
@@ -93,7 +94,12 @@ func main() {
 
 	b, err := pipeline.Compile(name, source, pipeline.Options{
 		InlineLimit: *inlineLimit,
-		Analysis:    core.Options{Mode: am, NullOrSame: *nullOrSame, Deadline: *deadline},
+		Analysis: core.Options{
+			Mode:            am,
+			NullOrSame:      *nullOrSame,
+			Interprocedural: *interproc,
+			Deadline:        *deadline,
+		},
 		Runtime: vm.Config{
 			Barrier:            bm,
 			GC:                 gk,

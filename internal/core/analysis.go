@@ -79,14 +79,31 @@ type Options struct {
 	// facts. Never enable it outside harness validation — unlike the
 	// ablations above it breaks the analysis's soundness argument.
 	UnsoundSkipBDemotion bool
+	// UnsoundTrustAllSummaries is a second DELIBERATELY UNSOUND
+	// fault-injection knob for the harness self-test: cyclic callgraph
+	// components stop after their first summary pass instead of
+	// iterating the compromise re-run to a fixed point, so a method
+	// summarized before its cycle-mate keeps trusting the mate's stale
+	// optimistic facts (e.g. mutual recursion where the later-summarized
+	// arm publishes an argument). Never enable it outside harness
+	// validation.
+	UnsoundTrustAllSummaries bool
 
 	// Interprocedural enables escape summaries (see summaries.go): a
-	// call escapes only the arguments its callee may publish or mutate,
-	// instead of all of them (§2.4's named future work).
+	// call escapes only the arguments its callee may publish or reach,
+	// invalidates just the callee-written fields of the rest, and treats
+	// calls with provably fresh returns like allocation sites (§2.4's
+	// named future work).
 	Interprocedural bool
 	// Summaries supplies precomputed summaries; AnalyzeProgram fills it
 	// when Interprocedural is set and it is nil.
 	Summaries Summaries
+	// MaxSummaryRoundsPerSCC bounds the summary fixed point within one
+	// cyclic callgraph component (0 = default). Exceeding it degrades
+	// that component's summaries — and only that component's — to the
+	// sound worst case; the bound is structural, so degradation is
+	// deterministic and cacheable.
+	MaxSummaryRoundsPerSCC int
 
 	// Analysis budgets (sound degradation). A method exceeding any budget
 	// bails out to the always-sound result — every barrier kept, no
@@ -151,6 +168,12 @@ type MethodReport struct {
 	Converged     bool
 	AbstractRefs  int
 	BytecodeBytes int
+	// SummaryCalls counts call sites judged with an interprocedural
+	// summary in hand; FreshReturns counts the subset whose return value
+	// was modeled as a fresh allocation (ReturnsFresh). Both are zero
+	// unless Options.Interprocedural was set.
+	SummaryCalls int
+	FreshReturns int
 	// Degraded records why the analysis bailed out to the conservative
 	// all-barriers result (DegradeNone when it completed).
 	Degraded DegradeReason
@@ -185,15 +208,41 @@ type analyzer struct {
 	// start thread-local, returns escape their value, and mutations of
 	// arguments are recorded.
 	forSummary bool
-	// mutatedArgs collects argument references whose reference fields or
-	// elements the method may write (summary mode); intMutatedArgs
-	// collects those whose integer fields/elements it may write.
-	mutatedArgs    RefSet
+	// dirtyArgFields collects, per argument reference, the reference
+	// fields the method may write (summary mode): the complement of the
+	// summary's ArgPreNullFields. intMutatedArgs collects arguments
+	// whose integer fields/elements it may write.
+	dirtyArgFields map[RefID]map[string]bool
 	intMutatedArgs RefSet
-	// summaryReach collects references reachable from argument fields,
-	// returned values, or escaped objects at return points (summary
-	// mode): such arguments are compromised for the caller.
+	// contentMutated collects contents references (refArgContent) the
+	// method may write through: mutating an object merely reachable from
+	// an argument compromises the argument, since the caller has no
+	// finer name for the affected object.
+	contentMutated RefSet
+	// summaryReach collects references reachable from returned values or
+	// escaped objects at return points (summary mode): such arguments
+	// are compromised for the caller. argStored collects, per argument
+	// index, everything reachable from references the method stored into
+	// that argument's fields: an argument stored into a DIFFERENT
+	// argument's fields is compromised (the caller gains an untracked
+	// path to it), while stores into an argument's own fields are
+	// covered by the targeted dirty-field invalidation.
 	summaryReach RefSet
+	argStored    map[int]RefSet
+	// argRefs is the set of argument and contents references (summary
+	// mode), cached for the per-return freshness check.
+	argRefs RefSet
+	// retNotFresh records that some return statement's value failed the
+	// strict freshness conditions (see checkReturnFresh); it clears the
+	// summary's ReturnsFresh claim.
+	retNotFresh bool
+
+	// statSummaryCalls counts call sites judged with a summary in hand;
+	// statFreshReturns counts those whose fresh return was modeled as an
+	// allocation. Both are counted during the judgment pass only (each
+	// reachable block exactly once), so they are deterministic.
+	statSummaryCalls int
+	statFreshReturns int
 
 	// everNL accumulates every reference that enters NL in any state,
 	// for the flow-insensitive-escape ablation.
@@ -256,7 +305,7 @@ func AnalyzeMethodCtx(ctx context.Context, p *bytecode.Program, m *bytecode.Meth
 	}
 	a := &analyzer{
 		prog: p, m: m, g: g, opts: opts,
-		refs:         buildRefTable(m, opts.SingleRefPerSite),
+		refs:         buildRefTable(p, m, opts, false),
 		entry:        make([]*state, len(g.Blocks)),
 		seen:         make([]bool, len(g.Blocks)),
 		maxVisits:    opts.MaxBlockVisits,
@@ -351,6 +400,15 @@ func (a *analyzer) initialState() *state {
 		slot++
 	}
 	a.everNL = s.nl
+	if a.forSummary {
+		a.argRefs = EmptyRefSet
+		for _, r := range a.refs.argRef {
+			a.argRefs = a.argRefs.With(r)
+		}
+		for _, r := range a.refs.argContent {
+			a.argRefs = a.argRefs.With(r)
+		}
+	}
 	return s
 }
 
@@ -556,6 +614,8 @@ func (a *analyzer) judge(rep *MethodReport) {
 			}
 		}
 	}
+	rep.SummaryCalls = a.statSummaryCalls
+	rep.FreshReturns = a.statFreshReturns
 }
 
 // stateFootprint measures an abstract state's retained map entries — the
@@ -577,21 +637,99 @@ const (
 // buildGraph wraps cfg.Build for use by the summary computation.
 func buildGraph(m *bytecode.Method) (*cfg.Graph, error) { return cfg.Build(m) }
 
-// markMutated records argument references whose reference fields/elements
-// the method writes (summary mode).
-func (a *analyzer) markMutated(targets RefSet) {
+// contentRef resolves the contents reference a summary-mode read of an
+// untracked field of r yields: the argument's contents reference for a
+// non-unique argument, r itself for contents (deep reads stay contents),
+// nothing otherwise. A constructor's unique receiver keeps the plain
+// allocation defaults — its fields genuinely start null.
+func (a *analyzer) contentRef(r RefID) (RefID, bool) {
+	info := a.refs.info(r)
+	switch info.kind {
+	case refArg:
+		if info.unique {
+			return 0, false
+		}
+		cr, ok := a.refs.argContent[info.arg]
+		return cr, ok
+	case refArgContent:
+		return r, true
+	}
+	return 0, false
+}
+
+// sigmaDefault is the value an absent σ entry denotes for a field of r:
+// the allocation default (null / 0) — except in summary mode for
+// non-unique arguments and contents references, whose untracked fields
+// hold unknown caller-provided values (the contents reference for
+// reference fields, ⊤ for integers). Without the contents abstraction a
+// callee could read arg.f, publish it, and the summary would never learn
+// that the argument's reachable objects escaped.
+func (a *analyzer) sigmaDefault(r RefID, wantInt bool) Value {
+	if a.forSummary {
+		if cr, ok := a.contentRef(r); ok {
+			if wantInt {
+				return TopInt()
+			}
+			return RefValue(SingletonRef(cr))
+		}
+	}
+	if wantInt {
+		return IntValue(intval.Const(0))
+	}
+	return NullValue()
+}
+
+// fieldValue is lookup(σ, r, NL, f) honoring the summary-mode contents
+// abstraction for absent entries.
+func (a *analyzer) fieldValue(s *state, r RefID, field string, wantInt bool) Value {
+	if a.forSummary && !s.nl.Has(r) {
+		if _, ok := a.contentRef(r); ok {
+			if _, has := s.sigma[sigKey{ref: r, field: field}]; !has {
+				return a.sigmaDefault(r, wantInt)
+			}
+		}
+	}
+	return s.lookup(r, field, wantInt)
+}
+
+// markDirtyField records, in summary mode, a reference-field write
+// against its targets: a direct write to an argument dirties that field
+// of the argument (the caller invalidates just that σ fact), while a
+// write through the argument's contents compromises the whole argument —
+// the caller has no finer name for the written object.
+func (a *analyzer) markDirtyField(targets RefSet, field string) {
+	if !a.forSummary {
+		return
+	}
 	targets.ForEach(func(r RefID) {
-		if a.refs.info(r).kind == refArg {
-			a.mutatedArgs = a.mutatedArgs.With(r)
+		switch a.refs.info(r).kind {
+		case refArg:
+			m := a.dirtyArgFields[r]
+			if m == nil {
+				if a.dirtyArgFields == nil {
+					a.dirtyArgFields = map[RefID]map[string]bool{}
+				}
+				m = map[string]bool{}
+				a.dirtyArgFields[r] = m
+			}
+			m[field] = true
+		case refArgContent:
+			a.contentMutated = a.contentMutated.With(r)
 		}
 	})
 }
 
-// markIntMutated records integer-field/element writes to arguments.
+// markIntMutated records integer-field/element writes: against an
+// argument it taints only the caller's integer facts, but a write
+// through contents compromises the argument (the caller's integer facts
+// about reachable objects have no per-object taint channel).
 func (a *analyzer) markIntMutated(targets RefSet) {
 	targets.ForEach(func(r RefID) {
-		if a.refs.info(r).kind == refArg {
+		switch a.refs.info(r).kind {
+		case refArg:
 			a.intMutatedArgs = a.intMutatedArgs.With(r)
+		case refArgContent:
+			a.contentMutated = a.contentMutated.With(r)
 		}
 	})
 }
@@ -603,24 +741,144 @@ func (a *analyzer) markIntMutatedIf(cond bool, targets RefSet) {
 	}
 }
 
+// invalidateField drops the caller's σ facts about one callee-written
+// reference field of the passed argument's referents: the entry joins
+// with {GlobalRef} ("possibly rewritten with something unknown"), and a
+// dirtied $elems additionally kills the null-range facts the array
+// analysis relies on. Thread-locality of the referents survives — that
+// is the point of the summary.
+func (a *analyzer) invalidateField(s *state, targets RefSet, field string) {
+	targets.ForEach(func(r RefID) {
+		if s.nl.Has(r) {
+			return // lookups on escaped references are already ⊤
+		}
+		k := sigKey{ref: r, field: field}
+		old, ok := s.sigma[k]
+		if !ok {
+			old = a.sigmaDefault(r, false)
+		}
+		s.mutableSigma()[k] = weakMergeValue(old, RefValue(SingletonRef(GlobalRefID)))
+		if field == elemsField {
+			s.delNR(r)
+		}
+	})
+}
+
+// pushCallResult models the call's return value. A reference return
+// whose callee summary proves ReturnsFresh is modeled like an allocation
+// site: the call-site A name is renamed into its B summary, reset to
+// thread-local with null reference fields, and pushed — except its
+// integer fields are tainted, since the callee may have initialized
+// them. Anything else returns the unknown {GlobalRef} / ⊤.
+func (a *analyzer) pushCallResult(s *state, pc int, callee *bytecode.Method, sum *MethodSummary, judging bool) {
+	if callee.Return == bytecode.Void {
+		return
+	}
+	if !callee.Return.IsRef() {
+		s.push(TopInt())
+		return
+	}
+	if sum != nil && sum.ReturnsFresh {
+		if ra, ok := a.refs.callA[pc]; ok {
+			if judging {
+				a.statFreshReturns++
+			}
+			rb := a.refs.callB[pc]
+			if !a.opts.UnsoundSkipBDemotion {
+				s.renameAlloc(ra, rb)
+			}
+			s.intTainted = s.intTainted.With(ra)
+			if !a.opts.SingleRefPerSite {
+				// Mirror OpNewInstance: fresh A name with the σ defaults
+				// (all reference fields null per the freshness proof).
+				s.clearSigmaRef(ra)
+				s.nl = s.nl.Without(ra)
+				s.delLength(ra)
+				s.delNR(ra)
+			}
+			s.push(RefValue(SingletonRef(ra)))
+			return
+		}
+	}
+	s.push(RefValue(SingletonRef(GlobalRefID)))
+}
+
 // recordSummaryReturn accumulates, at a return point, every reference a
-// caller (or another thread) could reach afterwards: escaped references,
-// the returned value, and anything stored in an argument's fields.
+// caller (or another thread) could reach afterwards: escaped references
+// and the returned value feed summaryReach (compromising), while
+// references stored into an argument's fields feed that argument's
+// argStored set — they compromise only the OTHER arguments found there.
+// It also applies the strict freshness test to the returned value.
 func (a *analyzer) recordSummaryReturn(s *state, hasValue bool) {
 	set := s.nl
 	if hasValue {
 		top := s.stack[len(s.stack)-1]
 		if top.IsRefs() {
 			set = set.Union(top.Refs())
+			a.checkReturnFresh(s, top.Refs())
 		}
-	}
-	for k, v := range s.sigma {
-		if a.refs.info(k.ref).kind != refArg || !v.IsRefs() {
-			continue
-		}
-		set = set.Union(v.Refs())
 	}
 	a.summaryReach = a.summaryReach.Union(s.reachFrom(set))
+	for k, v := range s.sigma {
+		info := a.refs.info(k.ref)
+		if info.kind != refArg || !v.IsRefs() {
+			continue
+		}
+		if a.argStored == nil {
+			a.argStored = map[int]RefSet{}
+		}
+		a.argStored[info.arg] = a.argStored[info.arg].Union(s.reachFrom(v.Refs()))
+	}
+}
+
+// storedInOtherArg reports whether reference r (an argument or its
+// contents, belonging to argument i) was stored into some other
+// argument's fields — an untracked caller-visible alias.
+func (a *analyzer) storedInOtherArg(i int, r RefID) bool {
+	for j, set := range a.argStored {
+		if j != i && set.Has(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkReturnFresh tests the strict ReturnsFresh conditions on one
+// return statement's value, clearing the claim when any fails: every
+// possible returned object must be an allocation of this method (or a
+// callee's fresh return), never escaped, unreachable from any argument
+// or its contents, and have every reference field still null — the
+// caller will model the call site exactly like an allocation site, so
+// any non-null field or caller-visible alias would mint unsound pre-null
+// facts. Returning a definite null is trivially fresh.
+func (a *analyzer) checkReturnFresh(s *state, refs RefSet) {
+	if a.retNotFresh || refs.IsEmpty() {
+		return
+	}
+	argReach := s.reachFrom(a.argRefs)
+	ok := true
+	refs.ForEach(func(r RefID) {
+		switch a.refs.info(r).kind {
+		case refAllocA, refAllocB, refCallA, refCallB:
+		default:
+			ok = false
+			return
+		}
+		if s.nl.Has(r) || argReach.Has(r) {
+			ok = false
+		}
+	})
+	if ok {
+		for k, v := range s.sigma {
+			if refs.Has(k.ref) && v.kind == vRefs && !v.refs.IsEmpty() {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		a.retNotFresh = true
+	}
 }
 
 // siteLen returns the stable length symbol for a newarray site.
@@ -754,7 +1012,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			var out Value
 			first := true
 			obj.Refs().ForEach(func(r RefID) {
-				v := s.lookup(r, field, wantInt)
+				v := a.fieldValue(s, r, field, wantInt)
 				if first {
 					out = v
 					first = false
@@ -788,7 +1046,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			}
 			if a.forSummary {
 				if ft.IsRef() {
-					a.markMutated(obj.Refs())
+					a.markDirtyField(obj.Refs(), field)
 				} else {
 					a.markIntMutated(obj.Refs())
 				}
@@ -802,7 +1060,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 					k := sigKey{ref: r, field: field}
 					old, ok := s.sigma[k]
 					if !ok {
-						old = defaultFor(val)
+						old = a.sigmaDefault(r, !ft.IsRef())
 					}
 					s.mutableSigma()[k] = weakMergeValue(old, val)
 				})
@@ -891,7 +1149,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			var out Value
 			first := true
 			arr.Refs().ForEach(func(r RefID) {
-				v := s.lookup(r, elemsField, false)
+				v := a.fieldValue(s, r, elemsField, false)
 				if first {
 					out = v
 					first = false
@@ -918,13 +1176,13 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 				a.rt.recordStore(pc, arr.vn, arr.Refs(), ind, val.eprov)
 			}
 			if a.forSummary {
-				a.markMutated(arr.Refs())
+				a.markDirtyField(arr.Refs(), elemsField)
 			}
 			arr.Refs().ForEach(func(r RefID) {
 				k := sigKey{ref: r, field: elemsField}
 				old, ok := s.sigma[k]
 				if !ok {
-					old = NullValue()
+					old = a.sigmaDefault(r, false)
 				}
 				s.mutableSigma()[k] = weakMergeValue(old, val)
 				if a.trackArrays() {
@@ -966,18 +1224,32 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			if a.summaries != nil {
 				sum = a.summaries[in.Method]
 			}
+			if judgeFn != nil && sum != nil {
+				a.statSummaryCalls++
+			}
 			for i, v := range args {
 				if sum != nil && i < len(sum.ArgCompromised) && !sum.ArgCompromised[i] {
-					// The argument stays thread-local; if the callee may
-					// write its scalar fields, the caller forgets its
-					// integer facts about it.
-					if sum.ArgIntMutated[i] && v.IsRefs() {
-						s.intTainted = s.intTainted.Union(v.Refs())
-					}
-					if a.forSummary && v.IsRefs() {
-						// Propagate mutation effects transitively in
-						// summary mode.
-						a.markIntMutatedIf(sum.ArgIntMutated[i], v.Refs())
+					if v.IsRefs() {
+						// The argument stays thread-local; if the callee
+						// may write its scalar fields, the caller forgets
+						// its integer facts about it, and the caller's σ
+						// facts die for exactly the reference fields the
+						// callee may write (the non-pre-null ones).
+						if sum.ArgIntMutated[i] {
+							s.intTainted = s.intTainted.Union(v.Refs())
+						}
+						dirty := dirtyRefFields(a.prog, callee, sum, i)
+						for _, f := range dirty {
+							a.invalidateField(s, v.Refs(), f)
+						}
+						if a.forSummary {
+							// Propagate mutation effects transitively in
+							// summary mode.
+							a.markIntMutatedIf(sum.ArgIntMutated[i], v.Refs())
+							for _, f := range dirty {
+								a.markDirtyField(v.Refs(), f)
+							}
+						}
 					}
 					continue
 				}
@@ -990,13 +1262,7 @@ func (a *analyzer) simulate(s *state, b *cfg.Block, judgeFn func(pc int, kind ju
 			if a.rt != nil {
 				a.rt.clobber()
 			}
-			if callee.Return != bytecode.Void {
-				if callee.Return.IsRef() {
-					s.push(RefValue(SingletonRef(GlobalRefID)))
-				} else {
-					s.push(TopInt())
-				}
-			}
+			a.pushCallResult(s, pc, callee, sum, judgeFn != nil)
 
 		case bytecode.OpSpawn:
 			recv := s.pop()

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"satbelim/internal/bytecode"
+)
+
+// The callgraph layer schedules the interprocedural summary computation
+// (summaries.go): summaries are a bottom-up property — a method's facts
+// depend only on its callees' — so instead of iterating every method of
+// the program round-robin until nothing changes, we condense the
+// callgraph into strongly connected components (Tarjan) and process the
+// SCCs in reverse topological order. Acyclic components converge in a
+// single pass (their callees are final by construction); cyclic
+// components (recursion) iterate internally to a fixed point under the
+// monotone-compromise guarantee. Independent components are processed in
+// parallel by the same worker pool that fans out the per-method analysis.
+
+// CallGraph is the static call graph over a program's methods, with
+// nodes indexed by position in p.Methods() (the deterministic program
+// order) and edges pointing caller → callee. OpSpawn edges are excluded:
+// a spawned receiver always escapes, so spawn sites never consult the
+// target's summary.
+type CallGraph struct {
+	// Methods is p.Methods(): node i is Methods[i].
+	Methods []*bytecode.Method
+	// Index maps a method reference to its node.
+	Index map[bytecode.MethodRef]int
+	// Callees[i] lists the nodes method i invokes, deduplicated, in
+	// first-occurrence order of the invoke instructions (deterministic).
+	Callees [][]int
+}
+
+// BuildCallGraph scans every method's code for OpInvoke edges.
+// Unresolvable callees (absent from the program) are skipped; verified
+// programs have none.
+func BuildCallGraph(p *bytecode.Program) *CallGraph {
+	methods := p.Methods()
+	g := &CallGraph{
+		Methods: methods,
+		Index:   make(map[bytecode.MethodRef]int, len(methods)),
+		Callees: make([][]int, len(methods)),
+	}
+	for i, m := range methods {
+		g.Index[m.Ref()] = i
+	}
+	for i, m := range methods {
+		var seen map[int]bool
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if in.Op != bytecode.OpInvoke {
+				continue
+			}
+			j, ok := g.Index[in.Method]
+			if !ok {
+				continue
+			}
+			if seen == nil {
+				seen = map[int]bool{}
+			}
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			g.Callees[i] = append(g.Callees[i], j)
+		}
+	}
+	return g
+}
+
+// SCC is one strongly connected component of the callgraph.
+type SCC struct {
+	// Members are node indices in ascending order (program order).
+	Members []int
+	// Cyclic reports whether the component contains a cycle: more than
+	// one member, or a single member that calls itself. Acyclic
+	// components need exactly one summary pass.
+	Cyclic bool
+}
+
+// Condensation is the callgraph condensed to its SCCs, in bottom-up
+// (reverse topological) order: every component appears after all the
+// components it calls into, so processing them in slice order always
+// sees final callee summaries. The order is deterministic — Tarjan's
+// emission order for a fixed adjacency structure, which BuildCallGraph
+// derives from program order.
+type Condensation struct {
+	Graph *CallGraph
+	SCCs  []SCC
+	// CompOf maps a node to its component index in SCCs.
+	CompOf []int
+	// Deps[c] lists the component indices c's members call into
+	// (excluding c itself), deduplicated; all are < c by construction.
+	Deps [][]int
+	// Dependents[c] is the reverse of Deps: components that call into c.
+	// The parallel scheduler uses it to release waiting components.
+	Dependents [][]int
+}
+
+// Condense runs Tarjan's SCC algorithm (iteratively — generated programs
+// are small but workloads can have deep call chains) and builds the
+// component DAG.
+func Condense(g *CallGraph) *Condensation {
+	n := len(g.Methods)
+	c := &Condensation{Graph: g, CompOf: make([]int, n)}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		c.CompOf[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	// Iterative Tarjan: each frame tracks the node and the position in
+	// its callee list.
+	type frame struct {
+		node int
+		edge int
+	}
+	var frames []frame
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{node: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.node
+			if f.edge < len(g.Callees[v]) {
+				w := g.Callees[v][f.edge]
+				f.edge++
+				switch {
+				case index[w] == -1:
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				case onStack[w]:
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// v is finished: pop its frame, fold lowlink into the parent,
+			// and emit an SCC if v is a root.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].node
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] != index[v] {
+				continue
+			}
+			comp := len(c.SCCs)
+			var members []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				c.CompOf[w] = comp
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			// Ascending program order within the component, for
+			// deterministic fixed-point iteration.
+			sortInts(members)
+			cyclic := len(members) > 1
+			if !cyclic {
+				for _, w := range g.Callees[members[0]] {
+					if w == members[0] {
+						cyclic = true // self-loop
+					}
+				}
+			}
+			c.SCCs = append(c.SCCs, SCC{Members: members, Cyclic: cyclic})
+		}
+	}
+
+	// Component DAG edges (deduplicated, deterministic order).
+	c.Deps = make([][]int, len(c.SCCs))
+	c.Dependents = make([][]int, len(c.SCCs))
+	for ci := range c.SCCs {
+		seen := map[int]bool{}
+		for _, v := range c.SCCs[ci].Members {
+			for _, w := range g.Callees[v] {
+				cw := c.CompOf[w]
+				if cw == ci || seen[cw] {
+					continue
+				}
+				seen[cw] = true
+				c.Deps[ci] = append(c.Deps[ci], cw)
+				c.Dependents[cw] = append(c.Dependents[cw], ci)
+			}
+		}
+	}
+	return c
+}
+
+// sortInts is an insertion sort: SCC member lists are tiny and this
+// avoids pulling in package sort for an int slice.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core_test
 import (
 	"testing"
 
+	"satbelim/internal/bytecode"
 	"satbelim/internal/codegen"
 	"satbelim/internal/core"
 	"satbelim/internal/minijava"
@@ -72,6 +73,9 @@ class A { static void main() {
 		if cfg&(1<<9) != 0 {
 			opts.MaxStateSize = 1 + int(cfg>>10)%8
 		}
+		if cfg&(1<<10) != 0 {
+			opts.MaxSummaryRoundsPerSCC = 1 + int(cfg>>11)%3
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				t.Fatalf("panic escaped the analysis recovery layer: %v\noptions: %+v\nsource:\n%s", r, opts, src)
@@ -90,6 +94,39 @@ class A { static void main() {
 			if mr.Degraded != core.DegradeNone && (mr.FieldElided != 0 || mr.ArrayElided != 0 || mr.NullOrSame != 0) {
 				t.Fatalf("%s: degraded (%s) but still elides barriers\noptions: %+v\nsource:\n%s",
 					mr.Method.QualifiedName(), mr.Degraded, opts, src)
+			}
+		}
+		// Summaries are a pure precision layer: with no starvation budgets
+		// in play, every store site the intraprocedural analysis elides
+		// must still be elided with summaries on. (Budgets break the
+		// guarantee legitimately — summary consultation costs block visits
+		// and state size the plain run does not pay.)
+		if opts.Interprocedural && opts.MaxBlockVisits == 0 && opts.MaxStateSize == 0 &&
+			opts.MaxSummaryRoundsPerSCC == 0 {
+			plainProg, err := codegen.Compile(checked)
+			if err != nil {
+				t.Fatalf("recompile: %v", err)
+			}
+			plainOpts := opts
+			plainOpts.Interprocedural = false
+			if _, err := core.AnalyzeProgram(plainProg, plainOpts); err != nil {
+				t.Fatalf("plain analysis error: %v", err)
+			}
+			plainByName := map[string][]bytecode.Instr{}
+			for _, m := range plainProg.Methods() {
+				plainByName[m.QualifiedName()] = m.Code
+			}
+			elided := func(in bytecode.Instr) bool {
+				return in.Elide || in.ElideNullOrSame || in.ElideRearrange
+			}
+			for _, m := range prog.Methods() {
+				plain := plainByName[m.QualifiedName()]
+				for pc, in := range m.Code {
+					if elided(plain[pc]) && !elided(in) {
+						t.Fatalf("%s pc %d: intraprocedural run elides but interprocedural run does not\noptions: %+v\nsource:\n%s",
+							m.QualifiedName(), pc, opts, src)
+					}
+				}
 			}
 		}
 	})

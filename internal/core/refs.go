@@ -40,6 +40,20 @@ const (
 	refArg            // R_arg(i)
 	refAllocA         // most recent object of an allocation site
 	refAllocB         // summary of the site's older objects
+	// refCallA/refCallB name the object returned by a call site whose
+	// callee summary proves ReturnsFresh (interprocedural mode): the
+	// most recent returned object and the summary of older ones. They
+	// behave like an allocation site's A/B pair — the callee guarantees
+	// the object is thread-local with all reference fields null — except
+	// integer fields are unknown (the callee may have initialized them).
+	refCallA
+	refCallB
+	// refArgContent abstracts, in summary mode only, the unknown
+	// caller-provided contents of argument i: whatever a read of an
+	// untracked field of the argument (or of other contents) may yield.
+	// Publishing or mutating it compromises the argument — the caller's
+	// facts about objects reachable from the argument die with it.
+	refArgContent
 )
 
 // refInfo describes one abstract reference.
@@ -65,17 +79,32 @@ type refTable struct {
 	// argRef maps argument index (receiver = 0) to its reference, for
 	// reference-typed arguments only.
 	argRef map[int]RefID
+	// callA/callB map an invoke pc whose callee returns a reference to
+	// the A/B pair for its returned object (interprocedural mode only).
+	callA map[int]RefID
+	callB map[int]RefID
+	// argContent maps argument index to its contents reference (summary
+	// mode only; absent for a constructor's unique receiver, whose
+	// fields genuinely start null).
+	argContent map[int]RefID
 }
 
 // buildRefTable scans the method and creates GlobalRef, one reference per
 // reference-typed argument, and an A/B pair per allocation site. With
-// singleSummary (the two-refs-per-site ablation) the A and B names
-// coincide and nothing is unique.
-func buildRefTable(m *bytecode.Method, singleSummary bool) *refTable {
+// Options.SingleRefPerSite (the two-refs-per-site ablation) the A and B
+// names coincide and nothing is unique. Under Options.Interprocedural,
+// invoke sites whose callee returns a reference additionally get an A/B
+// pair for the returned object; in summary mode (forSummary) each
+// non-unique reference argument gets a contents reference.
+func buildRefTable(p *bytecode.Program, m *bytecode.Method, opts Options, forSummary bool) *refTable {
+	singleSummary := opts.SingleRefPerSite
 	t := &refTable{
-		allocA: map[int]RefID{},
-		allocB: map[int]RefID{},
-		argRef: map[int]RefID{},
+		allocA:     map[int]RefID{},
+		allocB:     map[int]RefID{},
+		argRef:     map[int]RefID{},
+		callA:      map[int]RefID{},
+		callB:      map[int]RefID{},
+		argContent: map[int]RefID{},
 	}
 	t.infos = append(t.infos, refInfo{kind: refGlobal, nameHint: "Global"})
 	for i := 0; i < m.NumArgs(); i++ {
@@ -95,6 +124,14 @@ func buildRefTable(m *bytecode.Method, singleSummary bool) *refTable {
 			nameHint: fmt.Sprintf("Arg%d", i),
 		})
 		t.argRef[i] = id
+		if forSummary && !uniq {
+			c := RefID(len(t.infos))
+			t.infos = append(t.infos, refInfo{
+				kind: refArgContent, arg: i,
+				nameHint: fmt.Sprintf("Arg%d*", i),
+			})
+			t.argContent[i] = c
+		}
 	}
 	for pc := range m.Code {
 		in := &m.Code[pc]
@@ -134,6 +171,35 @@ func buildRefTable(m *bytecode.Method, singleSummary bool) *refTable {
 					nameHint: fmt.Sprintf("R%d/B", pc),
 				})
 				t.allocB[pc] = b
+			}
+		case bytecode.OpInvoke:
+			if !opts.Interprocedural {
+				continue
+			}
+			callee := p.Method(in.Method)
+			if callee == nil || !callee.Return.IsRef() {
+				continue
+			}
+			ret := callee.Return
+			a := RefID(len(t.infos))
+			t.infos = append(t.infos, refInfo{
+				kind: refCallA, site: pc, class: ret.Class,
+				isArray: ret.Kind == bytecode.KindArray,
+				elemRef: ret.IsRefArray(),
+				unique:  !singleSummary, nameHint: fmt.Sprintf("RC%d/A", pc),
+			})
+			t.callA[pc] = a
+			if singleSummary {
+				t.callB[pc] = a
+			} else {
+				b := RefID(len(t.infos))
+				t.infos = append(t.infos, refInfo{
+					kind: refCallB, site: pc, class: ret.Class,
+					isArray:  ret.Kind == bytecode.KindArray,
+					elemRef:  ret.IsRefArray(),
+					nameHint: fmt.Sprintf("RC%d/B", pc),
+				})
+				t.callB[pc] = b
 			}
 		}
 	}

@@ -35,8 +35,9 @@ func AnalyzeProgram(p *bytecode.Program, opts Options) (*ProgramReport, error) {
 // shared counter, and reports land in p.Methods() order regardless of
 // completion order — the report and the Elide bits set on instructions
 // are bit-identical to a sequential run. Interprocedural summaries, when
-// requested, are computed up front by the (sequential) whole-program
-// fixed point and are read-only during the fan-out.
+// requested, are computed up front over the condensed callgraph
+// (bottom-up SCC order, independent components in parallel; see
+// callgraph.go) and are read-only during the fan-out.
 func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*ProgramReport, error) {
 	return AnalyzeProgramCtx(context.Background(), p, opts, workers)
 }
@@ -49,17 +50,17 @@ func AnalyzeProgramParallel(p *bytecode.Program, opts Options, workers int) (*Pr
 func AnalyzeProgramCtx(ctx context.Context, p *bytecode.Program, opts Options, workers int) (*ProgramReport, error) {
 	rep := &ProgramReport{}
 	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if opts.Interprocedural && opts.Summaries == nil {
-		sums, err := ComputeSummaries(p, opts)
+		sums, err := ComputeSummariesParallel(p, opts, workers)
 		if err != nil {
 			return nil, fmt.Errorf("summaries: %w", err)
 		}
 		opts.Summaries = sums
 	}
 	methods := p.Methods()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(methods) {
 		workers = len(methods)
 	}

@@ -146,9 +146,18 @@ func RunCampaign(opts Options) (*Result, error) {
 	return res, nil
 }
 
-// shrinkFailure minimizes src while the property keeps failing.
+// shrinkFailure minimizes src while the property keeps failing. A
+// candidate must also still run to completion with the analysis
+// disabled: shrinker deletions can manufacture programs that fault for
+// reasons unrelated to any elision decision (falling off the end of an
+// int method, dividing by a zeroed static), and such faults would
+// satisfy any property's "run error ⇒ violation" clause and hijack the
+// shrink toward a repro that no longer demonstrates the original bug.
 func shrinkFailure(seed int64, src string, p Property, analysis core.Options, maxChecks int, v *Violation) *Failure {
 	keep := func(s string) bool {
+		if !runsStandalone(s) {
+			return false
+		}
 		var sv *Violation
 		return errors.As(p.Check(s, analysis), &sv)
 	}

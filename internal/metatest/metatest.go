@@ -59,6 +59,7 @@ func Properties() []Property {
 		{Name: "dead-store-monotone", Check: checkDeadStoreMonotone},
 		{Name: "reorder-invariance", Check: checkReorderInvariance},
 		{Name: "flavor-soundness", Check: checkFlavorSoundness},
+		{Name: "summary-soundness", Check: checkSummarySoundness},
 	}
 }
 
@@ -72,10 +73,33 @@ func PropertyNames() []string {
 }
 
 func compile(src string, limit int, analysis core.Options) (*pipeline.Build, error) {
-	return pipeline.Compile("metatest", src, pipeline.Options{
+	b, err := pipeline.Compile("metatest", src, pipeline.Options{
 		InlineLimit: limit,
 		Analysis:    analysis,
 	})
+	if err != nil {
+		return nil, err
+	}
+	// A program without an entrypoint is not a runnable counterexample;
+	// keep it a plain error (like a syntax error) so the shrinker never
+	// "simplifies" a genuine failure into a main-less husk whose only sin
+	// is that the VM cannot start it.
+	if b.Program.Method(b.Program.Main) == nil {
+		return nil, fmt.Errorf("metatest: program has no entrypoint %s", b.Program.Main)
+	}
+	return b, nil
+}
+
+// runsStandalone reports whether src compiles and runs to completion
+// with the analysis disabled — i.e. whether it is a valid, total
+// program independent of any elision decision.
+func runsStandalone(src string) bool {
+	b, err := compile(src, 0, core.Options{Mode: core.ModeNone})
+	if err != nil {
+		return false
+	}
+	_, err = b.Run(vm.Config{Barrier: satb.ModeConditional, MaxSteps: maxSteps})
+	return err == nil
 }
 
 // oracleConfig is the PR-2 runtime elision oracle under concurrent SATB
@@ -273,6 +297,78 @@ func totals(b *pipeline.Build) elisionTotals {
 	var t elisionTotals
 	t.FieldSites, t.ArraySites, t.FieldElided, t.ArrayElided, t.NullOrSame = b.Report.Totals()
 	return t
+}
+
+// checkSummarySoundness: interprocedural summaries are a pure precision
+// layer — at inline limit 0 (every call a summary consultation) the
+// summaries-on and summaries-off builds must be observationally
+// identical under every barrier flavor, and the extra elisions the
+// summaries unlock must survive the runtime oracle. An unsound summary
+// (e.g. the UnsoundTrustAllSummaries self-test knob) shows up either as
+// an oracle violation on the summaries-on build or as an execution
+// divergence.
+func checkSummarySoundness(src string, analysis core.Options) error {
+	on := analysis
+	on.Interprocedural = true
+	off := analysis
+	off.Interprocedural = false
+	off.UnsoundTrustAllSummaries = false
+	bOn, err := compile(src, 0, on)
+	if err != nil {
+		return err
+	}
+	bOff, err := compile(src, 0, off)
+	if err != nil {
+		return err
+	}
+	pairings := []struct {
+		mode satb.BarrierMode
+		gc   vm.GCKind
+	}{
+		{satb.ModeConditional, vm.GCSATB},
+		{satb.ModeYuasa, vm.GCSATB},
+		{satb.ModeDijkstra, vm.GCSATB},
+		{satb.ModeHybrid, vm.GCSATB},
+	}
+	for _, pr := range pairings {
+		cfg := vm.Config{
+			Barrier:            pr.mode,
+			GC:                 pr.gc,
+			TriggerEveryAllocs: 64,
+			CheckInvariant:     true,
+			CheckElisions:      true,
+			MaxSteps:           maxSteps,
+		}
+		onRes, err := bOn.Run(cfg)
+		if err != nil {
+			return &Violation{Prop: "summary-soundness",
+				Msg: fmt.Sprintf("%v summaries-on: %v", pr.mode, err)}
+		}
+		offRes, err := bOff.Run(cfg)
+		if err != nil {
+			return &Violation{Prop: "summary-soundness",
+				Msg: fmt.Sprintf("%v summaries-off: %v", pr.mode, err)}
+		}
+		if !reflect.DeepEqual(onRes.Output, offRes.Output) {
+			return &Violation{Prop: "summary-soundness",
+				Msg: fmt.Sprintf("%v: summaries changed output %v -> %v", pr.mode, offRes.Output, onRes.Output)}
+		}
+		if onRes.Steps != offRes.Steps || onRes.Allocated != offRes.Allocated || onRes.Cycles != offRes.Cycles {
+			return &Violation{Prop: "summary-soundness",
+				Msg: fmt.Sprintf("%v: summaries changed execution: steps %d/%d allocated %d/%d cycles %d/%d",
+					pr.mode, onRes.Steps, offRes.Steps, onRes.Allocated, offRes.Allocated, onRes.Cycles, offRes.Cycles)}
+		}
+		for _, side := range []struct {
+			name string
+			res  *vm.Result
+		}{{"on", onRes}, {"off", offRes}} {
+			if s := side.res.Counters.Summarize(); len(s.UnsoundSites) > 0 {
+				return &Violation{Prop: "summary-soundness",
+					Msg: fmt.Sprintf("%v summaries-%s: unsound sites %v", pr.mode, side.name, s.UnsoundSites)}
+			}
+		}
+	}
+	return nil
 }
 
 // checkFlavorSoundness: every barrier flavor, run under its natural

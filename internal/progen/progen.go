@@ -60,6 +60,18 @@ type Config struct {
 	// EscapeStores emits stores into already-published objects
 	// (G.g<i>.link = ...), whose barriers must always be kept.
 	EscapeStores bool
+	// MutualRecursion emits a mutually recursive helper pair (Main.ra ⇄
+	// Main.rb) plus call sites followed by stores into the passed
+	// object: the callgraph gains a cyclic SCC the inliner never
+	// flattens, so only the interprocedural summary fixed point decides
+	// whether the post-call store keeps its elision. rb's effect arm
+	// (publish / ref-mutate / int-mutate / read-only) is drawn once per
+	// program, covering every summary verdict across seeds.
+	MutualRecursion bool
+	// DeepCalls emits a three-deep helper chain (Main.d0 → d1 → d2)
+	// whose leaf effect only transitive summary propagation can see,
+	// plus call sites with post-call stores.
+	DeepCalls bool
 }
 
 // DefaultConfig is a moderate size suitable for quick differential runs.
@@ -75,6 +87,8 @@ func CampaignConfig() Config {
 	c.AllocReuse = true
 	c.Aliasing = true
 	c.EscapeStores = true
+	c.MutualRecursion = true
+	c.DeepCalls = true
 	return c
 }
 
@@ -98,6 +112,12 @@ func Generate(seed int64, cfg Config) string {
 	}
 	if cfg.EscapeStores {
 		g.extras = append(g.extras, extraEscapeStore)
+	}
+	if cfg.MutualRecursion {
+		g.extras = append(g.extras, extraMutualCall)
+	}
+	if cfg.DeepCalls {
+		g.extras = append(g.extras, extraDeepCall)
 	}
 	return g.program()
 }
@@ -154,6 +174,7 @@ func (g *gen) program() string {
 	fmt.Fprintf(&g.buf, "}\n")
 
 	fmt.Fprintf(&g.buf, "class Main {\n")
+	g.recursionHelpers()
 	for m := 0; m < g.cfg.Methods; m++ {
 		g.methodIdx = m
 		g.method(m)
@@ -316,7 +337,48 @@ const (
 	extraAllocReuse
 	extraAliasing
 	extraEscapeStore
+	extraMutualCall
+	extraDeepCall
 )
+
+// recursionHelpers emits the fixed-shape recursive helpers the
+// MutualRecursion and DeepCalls knobs call into. They are emitted only
+// when their knob is on, so the all-knobs-off random stream (and every
+// historical seed's program) is untouched. Each helper's leaf effect on
+// the passed object is drawn once per program: publish (compromises),
+// ref-field write (dirty field), int-field write (int taint), or
+// read-only (clean summary).
+func (g *gen) recursionHelpers() {
+	c0 := g.class(0)
+	c1 := g.linkClassOf(c0)
+	effect := func() string {
+		switch g.r.Intn(4) {
+		case 0:
+			return "G.g0 = q; "
+		case 1:
+			return fmt.Sprintf("q.link = new %s(n); ", c1)
+		case 2:
+			return "q.a = q.a + n; "
+		default:
+			return ""
+		}
+	}
+	if g.cfg.MutualRecursion {
+		fmt.Fprintf(&g.buf, "    static int ra(int n, %s q) {\n", c0)
+		fmt.Fprintf(&g.buf, "        if (n <= 0) return q.a;\n")
+		fmt.Fprintf(&g.buf, "        return Main.rb(n - 1, q) + 1;\n")
+		fmt.Fprintf(&g.buf, "    }\n")
+		fmt.Fprintf(&g.buf, "    static int rb(int n, %s q) {\n", c0)
+		fmt.Fprintf(&g.buf, "        %sif (n <= 0) return q.b;\n", effect())
+		fmt.Fprintf(&g.buf, "        return Main.ra(n - 1, q);\n")
+		fmt.Fprintf(&g.buf, "    }\n")
+	}
+	if g.cfg.DeepCalls {
+		fmt.Fprintf(&g.buf, "    static int d0(%s q, int n) { return Main.d1(q, n + 1); }\n", c0)
+		fmt.Fprintf(&g.buf, "    static int d1(%s q, int n) { return Main.d2(q, n * 2); }\n", c0)
+		fmt.Fprintf(&g.buf, "    static int d2(%s q, int n) { %sreturn q.a + n; }\n", c0, effect())
+	}
+}
 
 // extraStmt emits one campaign-idiom statement.
 func (g *gen) extraStmt(kind extraKind, level int) {
@@ -385,6 +447,26 @@ func (g *gen) extraStmt(kind extraKind, level int) {
 		next := g.class((ci + 1) % g.cfg.Classes)
 		fmt.Fprintf(&g.buf, "%sG.g%d = new %s(%s);\n", ind, ci, g.class(ci), g.intExpr(3))
 		fmt.Fprintf(&g.buf, "%sG.g%d.link = new %s(%s);\n", ind, ci, next, g.intExpr(3))
+	case extraMutualCall:
+		// Call into the mutually recursive pair, then store into the
+		// passed object: whether the store's elision survives is exactly
+		// the cyclic-SCC summary verdict (the inliner never flattens
+		// recursion, so inlining cannot rescue the fact).
+		c0 := g.class(0)
+		name := g.fresh("mr")
+		fmt.Fprintf(&g.buf, "%s%s %s = new %s(%s);\n", ind, c0, name, c0, g.intExpr(2))
+		fmt.Fprintf(&g.buf, "%sG.acc = G.acc + Main.ra(%d, %s);\n", ind, 2+g.r.Intn(3), name)
+		fmt.Fprintf(&g.buf, "%s%s.link = new %s(%s);\n", ind, name, g.linkClassOf(c0), g.intExpr(2))
+		g.scope = append(g.scope, variable{name, c0})
+	case extraDeepCall:
+		// Call through the three-deep helper chain, then store into the
+		// passed object: the leaf effect must propagate up the summaries.
+		c0 := g.class(0)
+		name := g.fresh("dc")
+		fmt.Fprintf(&g.buf, "%s%s %s = new %s(%s);\n", ind, c0, name, c0, g.intExpr(2))
+		fmt.Fprintf(&g.buf, "%sG.acc = G.acc + Main.d0(%s, %s);\n", ind, name, g.intExpr(2))
+		fmt.Fprintf(&g.buf, "%s%s.link = new %s(%s);\n", ind, name, g.linkClassOf(c0), g.intExpr(2))
+		g.scope = append(g.scope, variable{name, c0})
 	}
 }
 

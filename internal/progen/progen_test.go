@@ -150,7 +150,7 @@ func TestGeneratedProgramsBarrierModeInvariance(t *testing.T) {
 // campaign-config program still compiles, runs, and survives the runtime
 // elision oracle under concurrent marking.
 func TestCampaignConfigIdiomsAppearAndRunSound(t *testing.T) {
-	idioms := map[string]int{"prev": 0, "sa": 0, "al": 0, ".link = new": 0}
+	idioms := map[string]int{"prev": 0, "sa": 0, "al": 0, ".link = new": 0, "mr": 0, "dc": 0}
 	for seed := int64(0); seed < seeds; seed++ {
 		src := Generate(seed, CampaignConfig())
 		for marker := range idioms {

@@ -341,6 +341,9 @@ type InterprocRow struct {
 	Limit0Pct      float64 // no inlining, intra-procedural only
 	Limit0SumPct   float64 // no inlining, with summaries
 	InlinedBasePct float64 // inline limit 100 (the paper's setting)
+	// DeltaPct is what the summaries buy: Limit0SumPct - Limit0Pct
+	// (additive to schema v1).
+	DeltaPct float64
 }
 
 // Interprocedural measures how much of the inlining-dependent precision
@@ -372,7 +375,10 @@ func Interprocedural() ([]InterprocRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, InterprocRow{Workload: w.Name, Limit0Pct: plain, Limit0SumPct: sum, InlinedBasePct: base})
+		rows = append(rows, InterprocRow{
+			Workload: w.Name, Limit0Pct: plain, Limit0SumPct: sum,
+			InlinedBasePct: base, DeltaPct: sum - plain,
+		})
 	}
 	return rows, nil
 }
@@ -381,9 +387,10 @@ func Interprocedural() ([]InterprocRow, error) {
 func FormatInterprocedural(rows []InterprocRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Interprocedural escape summaries (dynamic %% eliminated)\n")
-	fmt.Fprintf(&b, "%-7s %14s %16s %14s\n", "bench", "limit 0", "limit 0 + sums", "limit 100")
+	fmt.Fprintf(&b, "%-7s %14s %16s %8s %14s\n", "bench", "limit 0", "limit 0 + sums", "delta", "limit 100")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-7s %14.1f %16.1f %14.1f\n", r.Workload, r.Limit0Pct, r.Limit0SumPct, r.InlinedBasePct)
+		fmt.Fprintf(&b, "%-7s %14.1f %16.1f %+8.1f %14.1f\n",
+			r.Workload, r.Limit0Pct, r.Limit0SumPct, r.DeltaPct, r.InlinedBasePct)
 	}
 	return b.String()
 }

@@ -165,6 +165,36 @@ func TestPaperTableGoldenFigure2(t *testing.T) {
 		cells)
 }
 
+// TestPaperTableGoldenInterproc gates the interprocedural-summary
+// recovery table: per workload, the dynamic elimination rate at inline
+// limit 0 with and without summaries, plus the delta the summaries buy.
+// At least one workload must keep a strictly positive delta — the
+// summary layer's reason to exist.
+func TestPaperTableGoldenInterproc(t *testing.T) {
+	rows, err := report.Interprocedural()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []goldenCell
+	maxDelta := 0.0
+	for _, r := range rows {
+		cells = append(cells,
+			goldenCell{r.Workload + ".limit0_pct", round2(r.Limit0Pct)},
+			goldenCell{r.Workload + ".limit0_sum_pct", round2(r.Limit0SumPct)},
+			goldenCell{r.Workload + ".delta_pct", round2(r.DeltaPct)},
+		)
+		if r.DeltaPct > maxDelta {
+			maxDelta = r.DeltaPct
+		}
+	}
+	if maxDelta <= tolPctPoints {
+		t.Errorf("no workload gains from interprocedural summaries at limit 0 (max delta %.2f)", maxDelta)
+	}
+	gate(t, "interproc.golden.json", tolPctPoints,
+		"Interprocedural summary recovery (%), inline limit 0, mode A with and without summaries; tolerance in percentage points",
+		cells)
+}
+
 // TestPaperTableGoldenFigure3 gates the compiled-code-size reductions
 // (never the raw sizes, which legitimately change with codegen).
 func TestPaperTableGoldenFigure3(t *testing.T) {
